@@ -1,0 +1,18 @@
+"""Section 5.3 ablation (extension; the paper does not evaluate it):
+message costs of TD vs BU vs the optimal hybrid radius split, using the
+neighborhood function statistic."""
+
+from conftest import run_once
+
+from repro.opt.costbased import hybrid_study
+
+
+def test_hybrid_search_ablation(benchmark, overlay, capsys):
+    study = run_once(benchmark, hybrid_study, overlay, 60)
+    with capsys.disabled():
+        print()
+        print(study.report())
+    assert study.hybrid_total <= study.td_total
+    assert study.hybrid_total <= study.bu_total
+    # On sparse overlays the split should usually strictly help.
+    assert study.hybrid_vs_best_pure <= 1.0

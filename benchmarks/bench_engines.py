@@ -1,0 +1,62 @@
+"""Engine micro-benchmarks (ablation): naive vs semi-naive (Alg 1) vs
+BSN vs PSN (Alg 3) on centralized workloads, plus the localization and
+aggregate-selections rewrites."""
+
+import random
+
+import pytest
+
+from repro.engine import Database, bsn, naive, psn, seminaive
+from repro.ndlog import programs
+from repro.opt import aggsel
+from repro.planner.localization import localize
+
+
+def random_links(n_nodes=12, extra=6, seed=7):
+    rng = random.Random(seed)
+    nodes = [f"v{i}" for i in range(n_nodes)]
+    pairs = set()
+    for i in range(n_nodes):          # a ring keeps it connected
+        pairs.add((nodes[i], nodes[(i + 1) % n_nodes]))
+    while len(pairs) < n_nodes + extra:
+        a, b = rng.sample(nodes, 2)
+        pairs.add((a, b))
+    rows = []
+    for a, b in sorted(pairs):
+        cost = rng.randint(1, 10)
+        rows.append((a, b, cost))
+        rows.append((b, a, cost))
+    return rows
+
+
+LINKS = random_links()
+
+
+def evaluate_with(module, program):
+    db = Database.for_program(program)
+    db.load_facts("link", LINKS)
+    return module.evaluate(program, db)
+
+
+@pytest.mark.parametrize("module", [naive, seminaive, bsn, psn],
+                         ids=["naive", "seminaive", "bsn", "psn"])
+def test_engine_shortest_path(benchmark, module):
+    result = benchmark.pedantic(
+        evaluate_with, args=(module, programs.shortest_path_safe()),
+        rounds=1, iterations=1,
+    )
+    assert len(result.rows("shortestPath")) > 0
+
+
+def test_engine_aggsel_rewrite_psn(benchmark):
+    program = aggsel.rewrite(programs.shortest_path())
+    result = benchmark.pedantic(evaluate_with, args=(psn, program),
+                                rounds=1, iterations=1)
+    assert len(result.rows("shortestPath")) > 0
+
+
+def test_engine_localized_program_psn(benchmark):
+    program = localize(programs.shortest_path_safe())
+    result = benchmark.pedantic(evaluate_with, args=(psn, program),
+                                rounds=1, iterations=1)
+    assert len(result.rows("shortestPath")) > 0

@@ -1,0 +1,15 @@
+"""Figure 7 (per-node bandwidth over time) and Figure 8 (% results over
+time) for the four shortest-path metric variants, with aggregate
+selections -- Section 6.2."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_8
+
+
+def test_fig07_08_aggregate_selections(benchmark, overlay, scale, capsys):
+    result = run_once(benchmark, fig7_8.run, overlay=overlay, scale=scale)
+    with capsys.disabled():
+        print()
+        print(result.report())
+    result.check_shape()

@@ -1,0 +1,15 @@
+"""Figures 9/10: periodic aggregate selections -- Section 6.2 (the
+17/12/16/29% bandwidth-reduction row)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_10
+
+
+def test_fig09_10_periodic_aggregate_selections(benchmark, overlay, scale,
+                                                capsys):
+    result = run_once(benchmark, fig9_10.run, overlay=overlay, scale=scale)
+    with capsys.disabled():
+        print()
+        print(result.report())
+    result.check_shape()

@@ -1,0 +1,14 @@
+"""Figure 11: aggregate communication vs number of queries for No-MS,
+MS, MSC, MSC-30%, MSC-10% -- Section 6.3."""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_magic_sets_and_caching(benchmark, overlay, scale, capsys):
+    result = run_once(benchmark, fig11.run, overlay=overlay, scale=scale)
+    with capsys.disabled():
+        print()
+        print(result.report())
+    result.check_shape()

@@ -1,0 +1,14 @@
+"""Figure 12: opportunistic message sharing across three concurrent
+queries (300 ms outbound delay) -- Section 6.4."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_opportunistic_sharing(benchmark, overlay, scale, capsys):
+    result = run_once(benchmark, fig12.run, overlay=overlay, scale=scale)
+    with capsys.disabled():
+        print()
+        print(result.report())
+    result.check_shape()

@@ -1,0 +1,24 @@
+"""Figures 13/14: incremental evaluation under bursty link updates --
+Section 6.5."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_14
+
+
+def test_fig13_periodic_bursts(benchmark, overlay, scale, capsys):
+    result = run_once(benchmark, fig13_14.run_fig13, overlay=overlay,
+                      scale=scale)
+    with capsys.disabled():
+        print()
+        print(result.report())
+    result.check_shape()
+
+
+def test_fig14_interleaved_bursts(benchmark, overlay, scale, capsys):
+    result = run_once(benchmark, fig13_14.run_fig14, overlay=overlay,
+                      scale=scale)
+    with capsys.disabled():
+        print()
+        print(result.report())
+    result.check_shape()

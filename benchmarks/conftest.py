@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one figure of the paper's evaluation
+(Section 6).  Simulations are deterministic, so a single round is
+meaningful; pytest-benchmark records the wall-clock cost of the
+reproduction itself.
+
+Set ``REPRO_SCALE=full`` for the paper's 100-node scale.
+"""
+
+import pytest
+
+from repro.experiments.common import current_scale, default_overlay
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def overlay(scale):
+    return default_overlay(scale)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

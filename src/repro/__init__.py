@@ -1,0 +1,28 @@
+"""repro -- a reproduction of "Declarative Networking: Language, Execution
+and Optimization" (Loo et al., SIGMOD 2006).
+
+The package implements the NDlog language, centralized and relaxed
+semi-naive evaluation (SN / BSN / PSN), distributed execution over a
+simulated network with rule localization, incremental view maintenance
+under network dynamics, and the paper's query optimizations, together
+with an experiment harness that regenerates every figure of the paper's
+evaluation section.
+
+Quickstart::
+
+    from repro.ndlog import programs
+    from repro.engine import Database, seminaive
+
+    program = programs.shortest_path_safe()
+    db = Database.for_program(program)
+    db.load_facts("link", [("a", "b", 1), ("b", "c", 2)])
+    result = seminaive.evaluate(program, db)
+    print(result.table("shortestPath").rows())
+
+See ``examples/`` for distributed runs on simulated topologies.
+"""
+
+from repro import ndlog  # noqa: F401
+from repro.ndlog import programs  # noqa: F401  (re-export for convenience)
+
+__version__ = "1.0.0"

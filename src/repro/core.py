@@ -1,0 +1,106 @@
+"""High-level facade over the reproduction: one import for the common
+workflows.
+
+* :func:`compile_program` -- parse + validate + optimize + localize;
+* :func:`run_centralized` -- evaluate a program on loaded facts with any
+  of the four engines;
+* :func:`deploy` -- stand up a simulated declarative network.
+
+The facade only composes the public APIs of the subpackages; everything
+it does can be done (with more control) through those directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.engine import Database, bsn, naive, psn, seminaive
+from repro.engine.fixpoint import EvalResult
+from repro.errors import PlanError
+from repro.ndlog.ast import Program
+from repro.ndlog.parser import parse
+from repro.ndlog.validator import check
+from repro.opt import aggsel
+from repro.planner.localization import localize
+from repro.runtime import Cluster, RuntimeConfig
+from repro.topology import Overlay, build_overlay, transit_stub
+
+ENGINES = {
+    "naive": naive,
+    "seminaive": seminaive,
+    "bsn": bsn,
+    "psn": psn,
+}
+
+
+def compile_program(
+    source_or_program: Union[str, Program],
+    aggregate_selections: bool = False,
+    localized: bool = False,
+    validate: bool = True,
+) -> Program:
+    """Parse (if needed), validate, and optionally rewrite a program."""
+    if isinstance(source_or_program, str):
+        program = parse(source_or_program)
+    else:
+        program = source_or_program
+    if validate:
+        check(program)
+    if aggregate_selections:
+        program = aggsel.rewrite(program)
+    if localized:
+        program = localize(program)
+    return program
+
+
+def run_centralized(
+    source_or_program: Union[str, Program],
+    facts: Optional[Dict[str, Iterable[Tuple]]] = None,
+    engine: str = "psn",
+    aggregate_selections: bool = False,
+    validate: bool = False,
+) -> EvalResult:
+    """Evaluate a program to fixpoint on one node.
+
+    ``facts`` maps relation names to rows; ``engine`` is one of
+    ``naive`` / ``seminaive`` / ``bsn`` / ``psn``.
+    """
+    module = ENGINES.get(engine)
+    if module is None:
+        raise PlanError(f"unknown engine {engine!r}; pick from {sorted(ENGINES)}")
+    program = compile_program(
+        source_or_program,
+        aggregate_selections=aggregate_selections,
+        validate=validate,
+    )
+    db = Database.for_program(program)
+    for pred, rows in (facts or {}).items():
+        db.load_facts(pred, rows)
+    return module.evaluate(program, db)
+
+
+def deploy(
+    source_or_program: Union[str, Program],
+    overlay: Optional[Overlay] = None,
+    n_nodes: int = 100,
+    degree: int = 4,
+    seed: int = 1,
+    metric: str = "latency",
+    config: Optional[RuntimeConfig] = None,
+) -> Cluster:
+    """Deploy a program on a simulated overlay (not yet run; call
+    ``cluster.run()``)."""
+    if isinstance(source_or_program, str):
+        program = parse(source_or_program)
+    else:
+        program = source_or_program
+    if overlay is None:
+        overlay = build_overlay(
+            transit_stub(seed=seed), n_nodes=n_nodes, degree=degree, seed=seed
+        )
+    return Cluster(
+        overlay,
+        program,
+        config or RuntimeConfig(aggregate_selections=True),
+        link_loads={"link": metric},
+    )

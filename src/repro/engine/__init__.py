@@ -1,0 +1,28 @@
+"""Evaluation engines: naive, semi-naive (Algorithm 1), buffered
+semi-naive, pipelined semi-naive (Algorithm 3) with incremental view
+maintenance, plus the table store they share."""
+
+from repro.engine.database import Database
+from repro.engine.facts import DELETE, Delta, Fact, INSERT
+from repro.engine.fixpoint import EvalResult, load_program_facts
+from repro.engine.table import Table
+from repro.engine import bsn, naive, psn, seminaive
+from repro.engine.psn import PSNEngine
+from repro.engine.bsn import BSNEngine
+
+__all__ = [
+    "Database",
+    "Table",
+    "Fact",
+    "Delta",
+    "INSERT",
+    "DELETE",
+    "EvalResult",
+    "load_program_facts",
+    "naive",
+    "seminaive",
+    "bsn",
+    "psn",
+    "PSNEngine",
+    "BSNEngine",
+]

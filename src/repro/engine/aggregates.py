@@ -1,0 +1,213 @@
+"""Incremental maintenance of aggregate rules (``min<>``, ``max<>``,
+``count<>``, ``sum<>``, ``avg<>``).
+
+Section 3.3.2 of the paper: "we utilize incremental fixpoint evaluation
+techniques [27] that are amenable to pipelined query processing.  These
+techniques can compute monotonic aggregates such as min, max and count
+incrementally based on the current aggregate and each new input tuple."
+Section 4 adds deletions: "the re-evaluation cost for min and max
+aggregates are shown to be O(log n) time and O(n) space".
+
+Semantics: the aggregate ranges over the *set* of distinct values derived
+per group (set semantics, as everywhere in Datalog); duplicate
+derivations of the same value are tracked with multiplicity counts so
+that retractions only remove a value when its last derivation goes away.
+``count<*>`` counts derivations (multiplicity included), matching its use
+as a derivation counter.
+
+The implementation recomputes min/max in O(n) on retraction of the
+current best; the O(log n) structure of [27] is a straightforward swap
+(a heap with lazy deletion) that would not change any observable
+behaviour, so we keep the simpler form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.engine.rules import AggregateInfo
+
+
+class GroupState:
+    """The multiset of values currently derived for one group.
+
+    ``distinct`` controls ``count`` semantics: ``count<Var>`` counts
+    distinct values (set semantics), ``count<*>`` counts derivations.
+    """
+
+    __slots__ = ("func", "values", "total_multiplicity", "distinct")
+
+    def __init__(self, func: str, distinct: bool = False):
+        self.func = func
+        self.distinct = distinct
+        self.values: Dict[object, int] = {}
+        self.total_multiplicity = 0
+
+    def add(self, value) -> None:
+        self.values[value] = self.values.get(value, 0) + 1
+        self.total_multiplicity += 1
+
+    def remove(self, value) -> None:
+        current = self.values.get(value, 0)
+        if current <= 0:
+            raise EvaluationError(
+                f"retracting value {value!r} never added to aggregate group"
+            )
+        if current == 1:
+            del self.values[value]
+        else:
+            self.values[value] = current - 1
+        self.total_multiplicity -= 1
+
+    def current(self):
+        """The aggregate value, or ``None`` for an empty group."""
+        if not self.values:
+            return None
+        if self.func == "min":
+            return min(self.values)
+        if self.func == "max":
+            return max(self.values)
+        if self.func == "count":
+            return len(self.values) if self.distinct else self.total_multiplicity
+        if self.func == "sum":
+            return sum(self.values)
+        if self.func == "avg":
+            return sum(self.values) / len(self.values)
+        raise EvaluationError(f"unknown aggregate function {self.func!r}")
+
+
+class AggregateView:
+    """Maintains one aggregate head relation incrementally.
+
+    ``apply`` takes a *contribution* (the head tuple with the aggregate
+    position holding the input value) and a sign, updates the group, and
+    returns the visible deltas on the aggregate relation:
+    ``[(-1, old_head), (+1, new_head)]`` when the group's value changes.
+    """
+
+    def __init__(self, pred: str, info: AggregateInfo):
+        self.pred = pred
+        self.info = info
+        self.groups: Dict[Tuple, GroupState] = {}
+
+    def apply(self, contribution: Tuple, sign: int) -> List[Tuple[int, Tuple]]:
+        info = self.info
+        group_key = tuple(contribution[i] for i in info.group_positions)
+        value = contribution[info.value_position]
+        state = self.groups.get(group_key)
+        if state is None:
+            state = GroupState(info.func, distinct=bool(info.var))
+            self.groups[group_key] = state
+        old = state.current()
+        if sign > 0:
+            state.add(value)
+        else:
+            state.remove(value)
+        new = state.current()
+        if not state.values:
+            del self.groups[group_key]
+        if old == new:
+            return []
+        deltas: List[Tuple[int, Tuple]] = []
+        if old is not None:
+            deltas.append((-1, self._head(group_key, old)))
+        if new is not None:
+            deltas.append((1, self._head(group_key, new)))
+        return deltas
+
+    def _head(self, group_key: Tuple, value) -> Tuple:
+        info = self.info
+        head: List[object] = [None] * (len(group_key) + 1)
+        for position, group_value in zip(info.group_positions, group_key):
+            head[position] = group_value
+        head[info.value_position] = value
+        return tuple(head)
+
+    def current_rows(self) -> List[Tuple]:
+        """All current aggregate facts (for from-scratch comparisons)."""
+        return [
+            self._head(group_key, state.current())
+            for group_key, state in self.groups.items()
+        ]
+
+
+class ArgExtremeView:
+    """Maintains one *witness tuple* per group: the tuple achieving the
+    group's min (or max) value.
+
+    This is the propagation side of aggregate selections (Section
+    5.1.1): "each node only needs to propagate the most current shortest
+    paths for each destination ... whenever a shorter path is derived".
+    Ties deliberately keep the incumbent witness -- a same-cost
+    alternative is *not* an improvement, so advertising it would only
+    churn the network (the dominant cost on hop-count metrics, where
+    ties abound).
+    """
+
+    def __init__(self, pred: str, group_positions: Tuple[int, ...],
+                 value_position: int, func: str = "min"):
+        if func not in ("min", "max"):
+            raise EvaluationError(f"argmin/argmax only: {func!r}")
+        self.pred = pred
+        self.group_positions = group_positions
+        self.value_position = value_position
+        self.func = func
+        #: group -> {tuple: multiplicity}
+        self.members: Dict[Tuple, Dict[Tuple, int]] = {}
+        #: group -> current witness tuple
+        self.winners: Dict[Tuple, Tuple] = {}
+
+    def _group_of(self, args: Tuple) -> Tuple:
+        return tuple(args[i] for i in self.group_positions)
+
+    def _better(self, a, b) -> bool:
+        return a < b if self.func == "min" else a > b
+
+    def apply(self, args: Tuple, sign: int) -> List[Tuple[int, Tuple]]:
+        group = self._group_of(args)
+        members = self.members.setdefault(group, {})
+        value = args[self.value_position]
+        winner = self.winners.get(group)
+        if sign > 0:
+            members[args] = members.get(args, 0) + 1
+            if winner is None:
+                self.winners[group] = args
+                return [(1, args)]
+            if self._better(value, winner[self.value_position]):
+                self.winners[group] = args
+                return [(-1, winner), (1, args)]
+            return []
+        # Retraction.
+        current = members.get(args, 0)
+        if current <= 0:
+            raise EvaluationError(
+                f"retracting tuple {args!r} never added to arg-{self.func}"
+            )
+        if current == 1:
+            del members[args]
+        else:
+            members[args] = current - 1
+        if args != winner or args in members:
+            return []
+        # The witness died: promote the best survivor (deterministic pick).
+        if not members:
+            del self.members[group]
+            del self.winners[group]
+            return [(-1, args)]
+        best = None
+        for candidate in members:
+            if best is None:
+                best = candidate
+                continue
+            cand_value = candidate[self.value_position]
+            best_value = best[self.value_position]
+            if self._better(cand_value, best_value) or (
+                cand_value == best_value and repr(candidate) < repr(best)
+            ):
+                best = candidate
+        self.winners[group] = best
+        return [(-1, args), (1, best)]
+
+    def current_rows(self) -> List[Tuple]:
+        return list(self.winners.values())

@@ -1,0 +1,45 @@
+"""Fact and delta representations shared by all evaluation engines.
+
+A *fact* is a predicate name plus a tuple of ground values.  A *delta* is
+a signed fact: ``sign=+1`` for insertion, ``sign=-1`` for deletion, as in
+the incremental view-maintenance machinery of Section 4 of the paper
+("an update is treated as a deletion followed by an insertion").
+
+``ts`` is the local, monotonically increasing timestamp PSN assigns at
+enqueue time; the join discipline "match only tuples with the same or
+older timestamp" (Section 3.3.2) is what makes PSN avoid repeated
+inferences (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+INSERT = 1
+DELETE = -1
+
+
+class Fact(NamedTuple):
+    pred: str
+    args: Tuple
+
+    def __repr__(self) -> str:
+        return f"{self.pred}({', '.join(map(repr, self.args))})"
+
+
+class Delta(NamedTuple):
+    fact: Fact
+    sign: int
+    ts: int
+
+    @property
+    def pred(self) -> str:
+        return self.fact.pred
+
+    @property
+    def args(self) -> Tuple:
+        return self.fact.args
+
+    def __repr__(self) -> str:
+        symbol = "+" if self.sign > 0 else "-"
+        return f"{symbol}{self.fact!r}@{self.ts}"

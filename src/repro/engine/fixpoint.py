@@ -1,0 +1,49 @@
+"""Shared result type and helpers for the fixpoint engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.engine.database import Database
+from repro.ndlog.ast import Program
+from repro.ndlog.terms import Constant, evaluate
+
+
+@dataclass
+class EvalResult:
+    """Outcome of running a program to fixpoint.
+
+    ``inferences`` counts rule firings (joint derivations); Theorem 2's
+    "no repeated inferences" is checked by comparing this across engines.
+    """
+
+    db: Database
+    iterations: int = 0
+    inferences: int = 0
+    steps: int = 0
+
+    def table(self, pred: str):
+        return self.db.table(pred)
+
+    def rows(self, pred: str) -> FrozenSet:
+        return frozenset(self.db.table(pred).rows())
+
+    def answers(self, program: Program) -> FrozenSet:
+        """Rows of the program's query predicate (all rows if no query)."""
+        if program.query is None:
+            raise ValueError("program has no query")
+        return self.rows(program.query.pred)
+
+
+def load_program_facts(program: Program, db: Database) -> None:
+    """Install the program's ground facts as base tuples."""
+    for fact in program.facts:
+        values = tuple(
+            evaluate(arg, {}, db.functions) for arg in fact.args
+        )
+        db.table(fact.pred).insert(values)
+
+
+def idb_of(program: Program) -> frozenset:
+    return program.idb_predicates()

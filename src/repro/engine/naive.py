@@ -1,0 +1,121 @@
+"""Naive (iterate-all-rules) evaluation [4 in the paper's references].
+
+The reference implementation every other engine is checked against: no
+deltas, no book-keeping -- each iteration re-derives everything from the
+full current state until nothing changes.  Deliberately simple; used for
+correctness baselines and the engine micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import EvaluationError
+from repro.engine.aggregates import AggregateView
+from repro.engine.database import Database
+from repro.engine.fixpoint import EvalResult, load_program_facts
+from repro.engine.rules import CompiledRule, instantiate_head, solve
+from repro.engine.stratify import stratify
+from repro.ndlog.ast import Program
+
+#: Guard against non-terminating programs (e.g. Figure 1 on a cyclic
+#: graph without aggregate selections, as discussed in Section 2).
+DEFAULT_MAX_ITERATIONS = 10_000
+
+
+def evaluate(
+    program: Program,
+    db: Optional[Database] = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> EvalResult:
+    if db is None:
+        db = Database.for_program(program)
+    load_program_facts(program, db)
+    result = EvalResult(db=db)
+    sources = {}
+
+    for stratum in stratify(program):
+        compiled = [CompiledRule(rule) for rule in stratum.rules]
+        plain = [c for c in compiled
+                 if c.aggregate is None and c.argmin is None]
+        aggregated = [c for c in compiled if c.aggregate is not None]
+        argmins = [c for c in compiled if c.argmin is not None]
+
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise EvaluationError(
+                    f"naive evaluation exceeded {max_iterations} iterations "
+                    f"on stratum {sorted(stratum.preds)} (non-terminating "
+                    f"program?)"
+                )
+            changed = False
+            for crule in plain:
+                table = db.table(crule.head.pred)
+                rule_sources = {
+                    index: db.table(crule.body[index].pred)
+                    for index in crule.literal_indexes
+                }
+                # Materialize the solutions first: the head table may be
+                # among the sources, and inserting while scanning it is
+                # undefined.
+                for bindings in list(solve(crule, rule_sources, db.functions)):
+                    result.inferences += 1
+                    head = instantiate_head(crule, bindings, db.functions)
+                    if head not in table:
+                        table.insert(head)
+                        changed = True
+            if not changed:
+                break
+        result.iterations += iterations
+
+        # Aggregates in a (necessarily non-recursive) stratum: recompute
+        # from the now-complete lower strata.
+        for crule in aggregated:
+            view = AggregateView(crule.head.pred, crule.aggregate)
+            rule_sources = {
+                index: db.table(crule.body[index].pred)
+                for index in crule.literal_indexes
+            }
+            for bindings in solve(crule, rule_sources, db.functions):
+                result.inferences += 1
+                contribution = instantiate_head(crule, bindings, db.functions)
+                view.apply(contribution, 1)
+            table = db.table(crule.head.pred)
+            for head in view.current_rows():
+                if head not in table:
+                    table.insert(head)
+
+        # Arg-min witness views (non-recursive only; see stratify):
+        # recompute the deterministic group winner from scratch.
+        for crule in argmins:
+            _materialize_argmin(db, crule, result)
+    return result
+
+
+def _materialize_argmin(db: Database, crule: CompiledRule,
+                        result: EvalResult) -> None:
+    group_positions, value_position, func = crule.argmin
+    rule_sources = {
+        index: db.table(crule.body[index].pred)
+        for index in crule.literal_indexes
+    }
+    winners = {}
+    for bindings in solve(crule, rule_sources, db.functions):
+        result.inferences += 1
+        head = instantiate_head(crule, bindings, db.functions)
+        group = tuple(head[i] for i in group_positions)
+        best = winners.get(group)
+        if best is None:
+            winners[group] = head
+            continue
+        value = head[value_position]
+        best_value = best[value_position]
+        better = value < best_value if func == "min" else value > best_value
+        if better or (value == best_value and repr(head) < repr(best)):
+            winners[group] = head
+    table = db.table(crule.head.pred)
+    for head in winners.values():
+        if head not in table:
+            table.insert(head)

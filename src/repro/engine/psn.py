@@ -1,0 +1,321 @@
+"""Pipelined semi-naive (PSN) evaluation -- Algorithm 3 of the paper --
+extended with the incremental view-maintenance machinery of Section 4.
+
+Every change is a signed delta on a FIFO queue:
+
+* base-table insertions, deletions and updates (update = deletion
+  followed by insertion, realized by primary-key replacement);
+* derived-tuple insertions/deletions produced by rule strands;
+* aggregate-value changes emitted by the incremental aggregate views.
+
+**Commit discipline.**  The queue is purely event-sourced: table state
+is mutated only when a delta is *processed* (dequeued), never when it is
+enqueued, so at any processing step the tables hold exactly the facts
+whose deltas precede the current one -- the "same or older timestamp"
+join prefix of Section 3.3.2 *is* the table itself.  A duplicate
+derivation of a visible fact commits as a count bump (no strands); a
+deletion of a fact that was superseded in the meantime commits as a
+no-op.
+
+Under this discipline:
+
+* each joint derivation fires exactly once -- when its last participant
+  commits; for self-joins, partner positions *before* the driving
+  position exclude the driving fact itself, mirroring the delta-rule
+  form of the paper's footnote 2 (Theorem 2, no repeated inferences);
+* deletions decrement the derivation counts established by insertions
+  and never over- or under-count: a dying fact's strands run while it is
+  still visible, and any co-participant deleted later no longer sees it
+  (Theorems 3/4, eventual consistency under bursty updates, using the
+  count algorithm of [15]).
+
+One engine therefore serves as the paper's PSN evaluator *and* its
+materialized-view maintenance layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.engine.aggregates import AggregateView, ArgExtremeView
+from repro.engine.database import Database
+from repro.engine.facts import Fact
+from repro.engine.fixpoint import EvalResult
+from repro.engine.table import INFINITY
+from repro.engine.rules import (
+    CompiledRule,
+    instantiate_head,
+    solve,
+    unify_literal,
+)
+from repro.ndlog.ast import Literal, Program
+from repro.ndlog.terms import evaluate as eval_term
+
+DEFAULT_MAX_STEPS = 20_000_000
+
+
+class QueuedDelta(NamedTuple):
+    """An intent on the queue; ``force`` removes a fact regardless of its
+    derivation count (external base deletions, pkey replacement)."""
+
+    fact: Fact
+    sign: int
+    force: bool = False
+
+
+class Strand:
+    """One rule strand: a compiled rule driven by one body literal
+    position, as in Figures 3 and 5 of the paper."""
+
+    __slots__ = ("crule", "driver_index", "driver_literal")
+
+    def __init__(self, crule: CompiledRule, driver_index: int):
+        self.crule = crule
+        self.driver_index = driver_index
+        self.driver_literal: Literal = crule.body[driver_index]
+
+    def __repr__(self) -> str:
+        return f"Strand({self.crule.label}, driver={self.driver_literal.pred})"
+
+
+def build_strands(compiled: List[CompiledRule]) -> Dict[str, List[Strand]]:
+    """Index strands by driving predicate.
+
+    Every body literal position of every rule yields a strand, so a new
+    fact for *any* body predicate (derived or base -- base-table updates
+    arrive at runtime, Section 4) re-fires the rule.
+    """
+    strands: Dict[str, List[Strand]] = {}
+    for crule in compiled:
+        for index in crule.literal_indexes:
+            strand = Strand(crule, index)
+            strands.setdefault(strand.driver_literal.pred, []).append(strand)
+    return strands
+
+
+class PSNEngine:
+    """Pipelined semi-naive engine over one database.
+
+    ``on_commit(fact, sign)`` (if given) observes every visible table
+    change, in commit order -- used by the distributed runtime and the
+    experiment harness.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        db: Optional[Database] = None,
+        on_commit: Optional[Callable[[Fact, int], None]] = None,
+    ):
+        self.program = program
+        self.db = db if db is not None else Database.for_program(program)
+        self.compiled = [CompiledRule(rule) for rule in program.rules if rule.body]
+        self.strands = build_strands(self.compiled)
+        self.views: Dict[str, AggregateView] = {}
+        self.argmin_views: Dict[str, ArgExtremeView] = {}
+        for crule in self.compiled:
+            if crule.aggregate is not None and crule.head.pred not in self.views:
+                self.views[crule.head.pred] = AggregateView(
+                    crule.head.pred, crule.aggregate
+                )
+            if crule.argmin is not None and crule.head.pred not in self.argmin_views:
+                group_positions, value_position, func = crule.argmin
+                self.argmin_views[crule.head.pred] = ArgExtremeView(
+                    crule.head.pred, group_positions, value_position, func
+                )
+        self.queue: Deque[QueuedDelta] = deque()
+        self.clock = 0
+        self.inferences = 0
+        self.steps = 0
+        self.on_commit = on_commit
+
+    # ------------------------------------------------------------------
+    # External change API (base tables; Section 4's insert/delete/update)
+    # ------------------------------------------------------------------
+    def insert(self, pred: str, args: Tuple) -> None:
+        """Insert a base tuple.  A primary-key match with different
+        attributes (detected at commit) is an *update*: the old tuple is
+        deleted first, exactly as "an update is treated as a deletion
+        followed by an insertion"."""
+        self.derive(Fact(pred, tuple(args)), 1)
+
+    def delete(self, pred: str, args: Tuple) -> None:
+        """Delete a base tuple outright (whatever its derivation count)."""
+        self._enqueue(QueuedDelta(Fact(pred, tuple(args)), -1, force=True))
+
+    def update(self, pred: str, args: Tuple) -> None:
+        """Alias of :meth:`insert`; replacement does the delete half."""
+        self.insert(pred, args)
+
+    # ------------------------------------------------------------------
+    # Derivation sink (strand outputs and external inserts)
+    # ------------------------------------------------------------------
+    def derive(self, fact: Fact, sign: int) -> None:
+        """Queue a signed derivation.  Purely event-sourced: no table
+        state is consulted or mutated here, so intents are interpreted at
+        processing time against exactly the prefix of changes that
+        precede them (this is what makes interleaved insert/delete bursts
+        of Section 4 confluent)."""
+        self._enqueue(QueuedDelta(fact, 1 if sign > 0 else -1))
+
+    # ------------------------------------------------------------------
+    # Fixpoint driving
+    # ------------------------------------------------------------------
+    def fixpoint(self, max_steps: int = DEFAULT_MAX_STEPS) -> EvalResult:
+        """Seed pre-loaded rows and program facts, then run the queue dry."""
+        self.seed_existing()
+        for fact in self.program.facts:
+            values = tuple(
+                eval_term(arg, {}, self.db.functions) for arg in fact.args
+            )
+            self.insert(fact.pred, values)
+        self.run(max_steps=max_steps)
+        return EvalResult(
+            db=self.db, inferences=self.inferences, steps=self.steps
+        )
+
+    def seed_existing(self) -> None:
+        """Move rows loaded before the engine existed onto the queue, so
+        they flow through the same commit pipeline as everything else."""
+        for table in self.db.tables.values():
+            for args in table.rows():
+                count = table.count(args)
+                table.force_delete(args)
+                fact = Fact(table.name, args)
+                for _ in range(count):
+                    self._enqueue(QueuedDelta(fact, 1))
+
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
+        """Process queued deltas until quiescent; returns steps taken."""
+        taken = 0
+        while self.queue:
+            self.process_next()
+            taken += 1
+            if taken > max_steps:
+                raise EvaluationError(
+                    f"PSN exceeded {max_steps} steps (non-terminating "
+                    f"program?)"
+                )
+        return taken
+
+    def run_batch(self, batch: int) -> int:
+        """Process at most ``batch`` deltas (used by BSN scheduling)."""
+        taken = 0
+        while self.queue and taken < batch:
+            self.process_next()
+            taken += 1
+        return taken
+
+    @property
+    def quiescent(self) -> bool:
+        return not self.queue
+
+    def _enqueue(self, delta: QueuedDelta) -> None:
+        """Append an intent to the FIFO queue (overridable: the
+        distributed node runtime also schedules a processing tick)."""
+        self.queue.append(delta)
+
+    # ------------------------------------------------------------------
+    # Core processing
+    # ------------------------------------------------------------------
+    def process_next(self) -> None:
+        delta = self.queue.popleft()
+        self.steps += 1
+        if delta.sign > 0:
+            self._commit_insert(delta.fact)
+        else:
+            self._commit_delete(delta.fact, force=delta.force)
+
+    def _commit_insert(self, fact: Fact) -> None:
+        table = self.db.table(fact.pred)
+        if fact.args in table:
+            # Another derivation of a visible fact: bump its count only.
+            # For soft-state tables (finite lifetime) the re-insertion is
+            # a *refresh* and must reach the TTL observer (Section 4.2:
+            # "facts must be explicitly reinserted ... with a new TTL").
+            table.insert(fact.args)
+            if table.lifetime != INFINITY and self.on_commit is not None:
+                self.on_commit(fact, 1)
+            return
+        old = table.get_by_key(table.key_of(fact.args))
+        if old is not None:
+            # Primary-key replacement: retract the superseded tuple first.
+            self._retract_visible(Fact(fact.pred, old))
+        self.clock += 1
+        table.insert(fact.args, ts=self.clock)
+        if self.on_commit is not None:
+            self.on_commit(fact, 1)
+        self._fire_strands(fact, 1)
+
+    def _commit_delete(self, fact: Fact, force: bool = False) -> None:
+        table = self.db.table(fact.pred)
+        current = table.count(fact.args)
+        if current <= 0:
+            return  # superseded, never committed, or already gone
+        if current > 1 and not force:
+            table.delete(fact.args)
+            return
+        self._retract_visible(fact)
+
+    def _retract_visible(self, fact: Fact) -> None:
+        """Remove a visible fact: run its deletion strands while it is
+        still in the table (so partners see it), then drop it."""
+        if self.on_commit is not None:
+            self.on_commit(fact, -1)
+        self._fire_strands(fact, -1)
+        self.db.table(fact.pred).force_delete(fact.args)
+
+    def _fire_strands(self, fact: Fact, sign: int) -> None:
+        for strand in self.strands.get(fact.pred, ()):
+            self._fire_strand(strand, fact, sign)
+
+    def _fire_strand(self, strand: Strand, fact: Fact, sign: int) -> None:
+        crule = strand.crule
+        functions = self.db.functions
+        seed = unify_literal(strand.driver_literal, fact.args, {}, functions)
+        if seed is None:
+            return
+        sources = {
+            index: self.db.table(crule.body[index].pred)
+            for index in crule.literal_indexes
+            if index != strand.driver_index
+        }
+        for bindings in solve(
+            crule,
+            sources,
+            functions,
+            bindings=seed,
+            skip_index=strand.driver_index,
+            skip_fact=fact,
+        ):
+            self.inferences += 1
+            head = instantiate_head(crule, bindings, functions)
+            self._emit(crule, head, sign)
+
+    def _emit(self, crule: CompiledRule, head: Tuple, sign: int) -> None:
+        """Route a rule firing to its head relation (virtual: the
+        distributed runtime overrides this to ship remote heads)."""
+        pred = crule.head.pred
+        if crule.aggregate is not None:
+            view = self.views[pred]
+            for view_sign, view_args in view.apply(head, sign):
+                self.derive(Fact(pred, view_args), view_sign)
+            return
+        if crule.argmin is not None:
+            view = self.argmin_views[pred]
+            for view_sign, view_args in view.apply(head, sign):
+                self.derive(Fact(pred, view_args), view_sign)
+            return
+        self.derive(Fact(pred, head), sign)
+
+
+def evaluate(
+    program: Program,
+    db: Optional[Database] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> EvalResult:
+    """Run ``program`` to fixpoint with PSN and return the result."""
+    engine = PSNEngine(program, db=db)
+    return engine.fixpoint(max_steps=max_steps)

@@ -1,0 +1,320 @@
+"""Rule compilation and the join evaluator shared by every engine.
+
+A rule body is evaluated left to right (the paper notes implementations
+"typically employ a left-to-right execution strategy").  Each literal is
+matched against a *source* -- a full table, a snapshot set, or a single
+driving fact -- using hash lookups on the positions already bound.
+
+``ts_limit`` implements PSN's timestamp discipline: when given, a literal
+only matches facts whose insertion timestamp is ``<= ts_limit``, so each
+joint derivation fires exactly once, when its youngest participant is
+processed (Theorem 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError, PlanError
+from repro.ndlog.ast import Assignment, Condition, Literal, Rule
+from repro.ndlog.terms import (
+    AggregateSpec,
+    Constant,
+    Term,
+    Variable,
+    evaluate,
+)
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+class SetSource:
+    """A source over a plain set of tuples (used for SN's old/delta sets).
+
+    Builds per-position indexes lazily; the set must not be mutated after
+    construction.
+    """
+
+    def __init__(self, rows: Sequence[Tuple]):
+        self._rows = list(rows)
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]] = {}
+
+    def rows(self) -> Sequence[Tuple]:
+        return self._rows
+
+    def ts(self, args: Tuple) -> int:
+        return -1
+
+    def lookup(self, positions: Tuple[int, ...], values: Tuple):
+        if not positions:
+            return self._rows
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for args in self._rows:
+                index.setdefault(
+                    tuple(args[i] for i in positions), []
+                ).append(args)
+            self._indexes[positions] = index
+        return index.get(values, ())
+
+
+EMPTY_SOURCE = SetSource(())
+
+
+# ----------------------------------------------------------------------
+# Compiled rules
+# ----------------------------------------------------------------------
+@dataclass
+class AggregateInfo:
+    """Description of an aggregate rule head, e.g. ``spCost(@S,@D,min<C>)``.
+
+    ``value_position`` is the aggregate's index in the head; ``group_positions``
+    are the remaining head indexes (the GROUP BY key).
+    """
+
+    func: str
+    var: str
+    value_position: int
+    group_positions: Tuple[int, ...]
+
+
+class CompiledRule:
+    """A rule pre-split into literals / assignments / conditions."""
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.head = rule.head
+        self.body = tuple(rule.body)
+        self.literal_indexes: Tuple[int, ...] = tuple(
+            i for i, item in enumerate(self.body) if isinstance(item, Literal)
+        )
+        agg = rule.head_aggregate()
+        if agg is None:
+            self.aggregate: Optional[AggregateInfo] = None
+        else:
+            position, spec = agg
+            self.aggregate = AggregateInfo(
+                func=spec.func,
+                var=spec.var,
+                value_position=position,
+                group_positions=tuple(
+                    i for i in range(rule.head.arity) if i != position
+                ),
+            )
+        #: (group_positions, value_position, func) witness annotation.
+        self.argmin = rule.argmin
+
+    @property
+    def label(self) -> str:
+        return self.rule.label or repr(self.rule.head)
+
+    def body_preds(self) -> Tuple[str, ...]:
+        return tuple(self.body[i].pred for i in self.literal_indexes)
+
+    def __repr__(self) -> str:
+        return f"CompiledRule({self.rule!r})"
+
+
+# ----------------------------------------------------------------------
+# Unification and lookup
+# ----------------------------------------------------------------------
+def unify_literal(
+    literal: Literal,
+    fact_args: Tuple,
+    bindings: Dict[str, object],
+    functions: Dict[str, Callable],
+) -> Optional[Dict[str, object]]:
+    """Match ``literal`` against ``fact_args`` under ``bindings``.
+
+    Returns the extended bindings, or ``None`` on mismatch.
+    """
+    if len(literal.args) != len(fact_args):
+        return None
+    new: Optional[Dict[str, object]] = None
+    current = bindings
+    for term, value in zip(literal.args, fact_args):
+        if isinstance(term, Variable):
+            bound = current.get(term.name, _MISSING)
+            if bound is _MISSING:
+                if new is None:
+                    new = dict(bindings)
+                    current = new
+                new[term.name] = value
+            elif bound != value:
+                return None
+        elif isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            # Complex term: must be evaluable under current bindings.
+            if evaluate(term, current, functions) != value:
+                return None
+    return new if new is not None else dict(bindings)
+
+
+_MISSING = object()
+
+
+def _literal_candidates(
+    literal: Literal,
+    source,
+    bindings: Dict[str, object],
+    functions: Dict[str, Callable],
+):
+    """Candidate facts for ``literal``: an indexed lookup on the positions
+    bound under ``bindings`` (falling back to a scan when nothing is
+    bound)."""
+    positions: List[int] = []
+    values: List[object] = []
+    for index, term in enumerate(literal.args):
+        if isinstance(term, Constant):
+            positions.append(index)
+            values.append(term.value)
+        elif isinstance(term, Variable):
+            bound = bindings.get(term.name, _MISSING)
+            if bound is not _MISSING:
+                positions.append(index)
+                values.append(bound)
+        else:
+            names = term.variables()
+            if all(name in bindings for name in names):
+                positions.append(index)
+                values.append(evaluate(term, bindings, functions))
+    if not positions:
+        return source.rows()
+    return source.lookup(tuple(positions), tuple(values))
+
+
+def solve(
+    crule: CompiledRule,
+    sources: Dict[int, object],
+    functions: Dict[str, Callable],
+    bindings: Optional[Dict[str, object]] = None,
+    skip_index: Optional[int] = None,
+    skip_fact=None,
+    ts_limit: Optional[int] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield every satisfying assignment of the rule body.
+
+    ``sources`` maps body-item index -> source for each literal;
+    ``skip_index`` marks the driving literal already consumed (its
+    bindings must be in ``bindings``).
+
+    ``skip_fact`` (the driving fact) implements the self-join discipline
+    of the paper's footnote-2 delta form: literal positions *before* the
+    driving position exclude the driving fact itself, so a derivation in
+    which the same tuple fills several positions fires exactly once --
+    when the strand for its first position runs (Theorem 2).
+
+    ``ts_limit`` additionally restricts every literal to facts with
+    timestamp ``<= ts_limit`` (unused by the commit-at-processing PSN
+    engine, where table state already equals the correct prefix, but
+    available for timestamp-explicit execution).
+    """
+    state = bindings or {}
+    return _solve_from(crule, 0, state, sources, functions, skip_index,
+                       skip_fact, ts_limit)
+
+
+def _solve_from(
+    crule: CompiledRule,
+    item_index: int,
+    bindings: Dict[str, object],
+    sources: Dict[int, object],
+    functions: Dict[str, Callable],
+    skip_index: Optional[int],
+    skip_fact,
+    ts_limit: Optional[int],
+) -> Iterator[Dict[str, object]]:
+    if item_index == len(crule.body):
+        yield bindings
+        return
+    item = crule.body[item_index]
+
+    if item_index == skip_index:
+        yield from _solve_from(crule, item_index + 1, bindings, sources,
+                               functions, skip_index, skip_fact, ts_limit)
+        return
+
+    if isinstance(item, Literal):
+        source = sources.get(item_index, EMPTY_SOURCE)
+        exclude = None
+        if (
+            skip_fact is not None
+            and skip_index is not None
+            and item_index < skip_index
+            and item.pred == skip_fact.pred
+        ):
+            exclude = skip_fact.args
+        for fact_args in _literal_candidates(item, source, bindings, functions):
+            if fact_args == exclude:
+                continue
+            if ts_limit is not None and source.ts(fact_args) > ts_limit:
+                continue
+            extended = unify_literal(item, fact_args, bindings, functions)
+            if extended is None:
+                continue
+            yield from _solve_from(crule, item_index + 1, extended, sources,
+                                   functions, skip_index, skip_fact, ts_limit)
+        return
+
+    if isinstance(item, Assignment):
+        value = evaluate(item.expr, bindings, functions)
+        name = item.var.name
+        bound = bindings.get(name, _MISSING)
+        if bound is _MISSING:
+            extended = dict(bindings)
+            extended[name] = value
+            yield from _solve_from(crule, item_index + 1, extended, sources,
+                                   functions, skip_index, skip_fact, ts_limit)
+        elif bound == value:
+            yield from _solve_from(crule, item_index + 1, bindings, sources,
+                                   functions, skip_index, skip_fact, ts_limit)
+        return
+
+    if isinstance(item, Condition):
+        if evaluate(item.expr, bindings, functions):
+            yield from _solve_from(crule, item_index + 1, bindings, sources,
+                                   functions, skip_index, skip_fact, ts_limit)
+        return
+
+    raise PlanError(f"unsupported body item {item!r}")
+
+
+# ----------------------------------------------------------------------
+# Head instantiation
+# ----------------------------------------------------------------------
+def instantiate_head(
+    crule: CompiledRule,
+    bindings: Dict[str, object],
+    functions: Dict[str, Callable],
+) -> Tuple:
+    """Ground the head under ``bindings``.
+
+    For aggregate rules the aggregate position carries the aggregated
+    *input value* (the aggregation itself is maintained by
+    :mod:`repro.engine.aggregates`).
+    """
+    values: List[object] = []
+    for term in crule.head.args:
+        if isinstance(term, AggregateSpec):
+            if term.var:
+                try:
+                    values.append(bindings[term.var])
+                except KeyError:
+                    raise EvaluationError(
+                        f"aggregate variable {term.var!r} unbound in "
+                        f"{crule.label}"
+                    ) from None
+            else:
+                values.append(1)  # count<*> contribution
+        else:
+            values.append(evaluate(term, bindings, functions))
+    return tuple(values)
+
+
+def compile_rules(rules: Sequence[Rule]) -> List[CompiledRule]:
+    return [CompiledRule(rule) for rule in rules]

@@ -1,0 +1,194 @@
+"""Materialized tables with primary keys, derivation counts, timestamps,
+and lazily maintained secondary indexes.
+
+Semantics follow P2 (Section 2 of the paper):
+
+* every relation has a primary key; in the absence of a declaration the
+  key is the full set of attributes;
+* inserting a tuple whose key matches an existing tuple with *different*
+  non-key attributes **replaces** it (this is how a link-cost update or a
+  neighbour's new best-path advertisement supersedes the old value);
+* re-inserting an identical tuple increments its *derivation count* (the
+  count algorithm of [Gupta et al. 93], used in Section 4); a tuple is
+  only removed when its count drops to zero.
+
+Mutating methods return the list of externally visible deltas
+(``(sign, args)`` pairs), which is exactly what the semi-naive engines
+propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchemaError
+
+INFINITY = float("inf")
+
+
+class Table:
+    """One stored relation."""
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        key: Sequence[int] = (),
+        lifetime: float = INFINITY,
+    ):
+        if arity <= 0:
+            raise SchemaError(f"table {name!r} must have positive arity")
+        for position in key:
+            if not 0 <= position < arity:
+                raise SchemaError(
+                    f"table {name!r}: key position {position} out of range"
+                )
+        self.name = name
+        self.arity = arity
+        #: 0-based key positions; empty declaration means "all attributes".
+        self.key: Tuple[int, ...] = tuple(key) or tuple(range(arity))
+        self.lifetime = lifetime
+        self._full_key = self.key == tuple(range(arity))
+        #: key value -> stored args
+        self._rows: Dict[Tuple, Tuple] = {}
+        #: args -> derivation count
+        self._counts: Dict[Tuple, int] = {}
+        #: args -> timestamp of (re-)insertion
+        self._ts: Dict[Tuple, int] = {}
+        #: positions tuple -> (value tuple -> set of args)
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, Set[Tuple]]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, args: Tuple) -> bool:
+        return args in self._counts
+
+    def rows(self) -> List[Tuple]:
+        """All stored tuples (stable order not guaranteed)."""
+        return list(self._rows.values())
+
+    def count(self, args: Tuple) -> int:
+        return self._counts.get(args, 0)
+
+    def ts(self, args: Tuple) -> int:
+        return self._ts.get(args, -1)
+
+    def key_of(self, args: Tuple) -> Tuple:
+        if self._full_key:
+            return args
+        return tuple(args[i] for i in self.key)
+
+    def get_by_key(self, key_values: Tuple) -> Optional[Tuple]:
+        """The stored tuple matching a primary-key value, if any."""
+        return self._rows.get(key_values)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, args: Tuple, ts: int = 0, count: int = 1) -> List[Tuple[int, Tuple]]:
+        """Insert ``args``; return visible deltas.
+
+        * brand-new tuple                -> ``[(+1, args)]``
+        * duplicate derivation           -> ``[]`` (count incremented)
+        * primary-key replacement        -> ``[(-1, old), (+1, args)]``
+        """
+        args = tuple(args)
+        if len(args) != self.arity:
+            raise SchemaError(
+                f"table {self.name!r}: arity {self.arity} but got {args!r}"
+            )
+        if args in self._counts:
+            self._counts[args] += count
+            return []
+        deltas: List[Tuple[int, Tuple]] = []
+        key = self.key_of(args)
+        old = self._rows.get(key)
+        if old is not None:
+            # Primary-key replacement: the old tuple is superseded outright
+            # (its derivation count does not protect it -- the new value is
+            # the current state of the world, e.g. an updated link cost).
+            self._remove(old)
+            deltas.append((-1, old))
+        self._rows[key] = args
+        self._counts[args] = count
+        self._ts[args] = ts
+        for positions, index in self._indexes.items():
+            index.setdefault(tuple(args[i] for i in positions), set()).add(args)
+        deltas.append((1, args))
+        return deltas
+
+    def delete(self, args: Tuple, count: int = 1) -> List[Tuple[int, Tuple]]:
+        """Remove one (or ``count``) derivations of ``args``.
+
+        Returns ``[(-1, args)]`` when the tuple disappears, else ``[]``.
+        Deleting an absent tuple is a no-op (deletions may race with
+        replacements in a distributed run).
+        """
+        args = tuple(args)
+        current = self._counts.get(args)
+        if current is None:
+            return []
+        if current > count:
+            self._counts[args] = current - count
+            return []
+        self._remove(args)
+        return [(-1, args)]
+
+    def force_delete(self, args: Tuple) -> List[Tuple[int, Tuple]]:
+        """Remove ``args`` entirely regardless of derivation count."""
+        args = tuple(args)
+        if args not in self._counts:
+            return []
+        self._remove(args)
+        return [(-1, args)]
+
+    def restamp(self, args: Tuple, ts: int) -> None:
+        """Reassign a stored tuple's timestamp (used when pre-loaded rows
+        are seeded into a PSN queue, so table and delta timestamps agree)."""
+        args = tuple(args)
+        if args in self._counts:
+            self._ts[args] = ts
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._counts.clear()
+        self._ts.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    def _remove(self, args: Tuple) -> None:
+        del self._counts[args]
+        self._ts.pop(args, None)
+        key = self.key_of(args)
+        if self._rows.get(key) == args:
+            del self._rows[key]
+        for positions, index in self._indexes.items():
+            bucket = index.get(tuple(args[i] for i in positions))
+            if bucket is not None:
+                bucket.discard(args)
+                if not bucket:
+                    del index[tuple(args[i] for i in positions)]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, positions: Tuple[int, ...], values: Tuple) -> Iterable[Tuple]:
+        """All tuples whose ``positions`` equal ``values``.
+
+        Builds (and from then on maintains) a hash index on first use.
+        """
+        if not positions:
+            return self._rows.values()
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for args in self._rows.values():
+                index.setdefault(
+                    tuple(args[i] for i in positions), set()
+                ).add(args)
+            self._indexes[positions] = index
+        return index.get(values, ())

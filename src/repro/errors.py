@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse-time, validation-time, and run-time problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NDlogSyntaxError(ReproError):
+    """Raised by the lexer/parser on malformed NDlog source.
+
+    Carries the source line and column to make errors actionable.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class NDlogValidationError(ReproError):
+    """Raised when a syntactically valid program violates NDlog's
+    semantic constraints (Definitions 1-6 of the paper): location
+    specificity, address type safety, stored link relations, or
+    link-restriction."""
+
+
+class SchemaError(ReproError):
+    """Raised on inconsistent relation schemas (arity mismatches,
+    unknown predicates, bad primary-key declarations)."""
+
+
+class EvaluationError(ReproError):
+    """Raised during query evaluation (unbound variables reaching a
+    function call, non-boolean conditions, unknown builtin functions)."""
+
+
+class PlanError(ReproError):
+    """Raised during plan generation (localization, magic-sets, or
+    strand compilation) when a program cannot be compiled."""
+
+
+class NetworkError(ReproError):
+    """Raised by the network simulator on misuse (sending along a
+    non-existent link, malformed messages)."""

@@ -1,0 +1,6 @@
+"""Experiment drivers regenerating every figure of the paper's Section 6
+evaluation, plus the Section 5.3 cost-based ablation."""
+
+from repro.experiments import common, fig7_8, fig9_10, fig11, fig12, fig13_14
+
+__all__ = ["common", "fig7_8", "fig9_10", "fig11", "fig12", "fig13_14"]

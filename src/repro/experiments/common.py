@@ -1,0 +1,147 @@
+"""Shared experiment scaffolding: scale selection, topologies, metric
+runs, and report formatting.
+
+Experiments default to a reduced scale so the benchmark suite completes
+in minutes; set ``REPRO_SCALE=full`` for the paper's full 100-node
+setup (and proportionally larger workloads).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ndlog import programs
+from repro.runtime import Cluster, RuntimeConfig
+from repro.topology import Overlay, build_overlay, transit_stub
+
+#: The paper's four query variants, in its own label order.
+METRIC_LABELS = (
+    ("hopcount", "Hop-Count"),
+    ("latency", "Latency"),
+    ("reliability", "Reliability"),
+    ("random", "Random"),
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment scale parameters."""
+
+    name: str
+    n_nodes: int
+    degree: int
+    query_counts: Tuple[int, ...]       # Figure 11 x-axis
+    burst_count: int                    # Figures 13/14
+    burst_interval: float
+    seed: int = 1
+
+    @property
+    def node_count(self) -> int:
+        return self.n_nodes
+
+
+FULL = Scale(
+    name="full", n_nodes=100, degree=4,
+    query_counts=(25, 50, 100, 170, 250),
+    burst_count=10, burst_interval=10.0,
+)
+SMALL = Scale(
+    name="small", n_nodes=48, degree=4,
+    query_counts=(8, 24, 48, 96),
+    burst_count=6, burst_interval=10.0,
+)
+
+
+def current_scale() -> Scale:
+    return FULL if os.environ.get("REPRO_SCALE") == "full" else SMALL
+
+
+def default_overlay(scale: Optional[Scale] = None) -> Overlay:
+    scale = scale or current_scale()
+    underlay = transit_stub(seed=scale.seed)
+    return build_overlay(
+        underlay, n_nodes=scale.n_nodes, degree=scale.degree,
+        seed=scale.seed,
+    )
+
+
+@dataclass
+class MetricRun:
+    """Outcome of one shortest-path query run (one line of Figs 7-10)."""
+
+    metric: str
+    label: str
+    convergence: float
+    total_mb: float
+    peak_kbps: float
+    bandwidth_series: List[Tuple[float, float]] = field(default_factory=list)
+    results_series: List[Tuple[float, float]] = field(default_factory=list)
+    messages: int = 0
+
+
+def run_shortest_path_metric(
+    overlay: Overlay,
+    metric: str,
+    label: str = "",
+    periodic_interval: Optional[float] = None,
+    cpu_delay: float = 1e-3,
+) -> MetricRun:
+    """One line of Figures 7/8 (eager) or 9/10 (periodic)."""
+    config = RuntimeConfig(
+        aggregate_selections=True,
+        buffer_interval=periodic_interval,
+        cpu_delay=cpu_delay,
+    )
+    cluster = Cluster(
+        overlay,
+        programs.shortest_path(),
+        config,
+        link_loads={"link": metric},
+    )
+    tracker = cluster.watch("shortestPath")
+    cluster.run()
+    node_count = len(overlay.nodes)
+    return MetricRun(
+        metric=metric,
+        label=label or metric,
+        convergence=tracker.convergence_time(),
+        total_mb=cluster.stats.total_mb(),
+        peak_kbps=cluster.stats.peak_per_node_kbps(node_count),
+        bandwidth_series=cluster.stats.per_node_kbps_series(node_count),
+        results_series=tracker.results_over_time(),
+        messages=cluster.stats.messages,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A plain ASCII table, GitHub-markdown-ish."""
+    columns = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, columns))
+    out = [line(headers), "-+-".join("-" * w for w in columns)]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_series(
+    series: List[Tuple[float, float]], max_points: int = 12, unit: str = ""
+) -> str:
+    """Downsample a (time, value) series for textual display."""
+    if not series:
+        return "(empty)"
+    step = max(1, len(series) // max_points)
+    samples = series[::step]
+    if samples[-1] != series[-1]:
+        samples.append(series[-1])
+    return "  ".join(f"{t:.2f}s:{v:.1f}{unit}" for t, v in samples)

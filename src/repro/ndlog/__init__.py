@@ -1,0 +1,58 @@
+"""The Network Datalog (NDlog) language: terms, AST, parser, validator,
+builtin functions, and the paper's canonical programs."""
+
+from repro.ndlog.ast import (
+    Assignment,
+    Condition,
+    Literal,
+    Materialization,
+    Program,
+    Rule,
+    make_literal,
+)
+from repro.ndlog.parser import parse, parse_rule
+from repro.ndlog.pretty import format_program, format_rule
+from repro.ndlog.terms import (
+    AggregateSpec,
+    BinOp,
+    Constant,
+    FuncCall,
+    NIL,
+    Term,
+    TupleTerm,
+    UnaryOp,
+    Variable,
+    evaluate,
+)
+from repro.ndlog.validator import check, is_link_restricted, is_local_rule, validate
+from repro.ndlog.functions import default_functions, register
+
+__all__ = [
+    "Assignment",
+    "Condition",
+    "Literal",
+    "Materialization",
+    "Program",
+    "Rule",
+    "make_literal",
+    "parse",
+    "parse_rule",
+    "format_program",
+    "format_rule",
+    "AggregateSpec",
+    "BinOp",
+    "Constant",
+    "FuncCall",
+    "NIL",
+    "Term",
+    "TupleTerm",
+    "UnaryOp",
+    "Variable",
+    "evaluate",
+    "check",
+    "validate",
+    "is_local_rule",
+    "is_link_restricted",
+    "default_functions",
+    "register",
+]

@@ -1,0 +1,188 @@
+"""Builtin ``f_*`` functions available to NDlog programs.
+
+The paper's programs use ``f_concatPath``; declarative routing / overlay
+programs built on NDlog additionally need basic list manipulation, which we
+provide in the same spirit ("a limited set of function calls ... including
+boolean predicates, arithmetic computations and simple list manipulation",
+Section 2).
+
+Path vectors are Python tuples of node identifiers.  A link tuple used as a
+term (``link(@S,@D,C)``) evaluates to a :class:`ConstructedTuple`; its node
+sequence is its first two fields (source and destination addresses).
+
+``f_concatPath(a, b)`` concatenates the node sequences of ``a`` and ``b``,
+collapsing a shared junction node, so that all three usages in the paper
+work with one definition:
+
+* ``f_concatPath(link(s,d,c), nil)``       -> ``(s, d)``       (rule SP1)
+* ``f_concatPath(link(s,z,c), (z,...,d))`` -> ``(s, z, ..., d)`` (rule SP2)
+* ``f_concatPath((s,...,z), link(z,d,c))`` -> ``(s, ..., z, d)`` (rule SP2-SD)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import EvaluationError
+from repro.ndlog.terms import ConstructedTuple, NIL
+
+#: Global registry of builtin functions, name -> callable.
+REGISTRY: Dict[str, Callable] = {}
+
+
+def register(name: str):
+    """Decorator registering a builtin under ``name`` (must start ``f_``)."""
+    if not name.startswith("f_"):
+        raise ValueError(f"builtin names must start with 'f_': {name!r}")
+
+    def wrap(func: Callable) -> Callable:
+        REGISTRY[name] = func
+        return func
+
+    return wrap
+
+
+def node_sequence(value) -> Tuple:
+    """The node sequence of a path-like value.
+
+    * a path vector (tuple) is its own sequence;
+    * a link tuple contributes ``(src, dst)``;
+    * ``nil`` contributes the empty sequence;
+    * a scalar contributes a singleton sequence.
+    """
+    if isinstance(value, ConstructedTuple):
+        if len(value.values) < 2:
+            raise EvaluationError(
+                f"tuple term {value.pred!r} needs >=2 fields to act as a link"
+            )
+        return (value.values[0], value.values[1])
+    if isinstance(value, tuple):
+        return value
+    return (value,)
+
+
+@register("f_concatPath")
+def f_concat_path(first, second) -> Tuple:
+    """Concatenate two path-like values, merging a shared junction node."""
+    left = node_sequence(first)
+    right = node_sequence(second)
+    if left and right and left[-1] == right[0]:
+        return left + right[1:]
+    return left + right
+
+
+@register("f_member")
+def f_member(path, item) -> int:
+    """1 if ``item`` occurs in ``path``, else 0 (P2 convention)."""
+    if not isinstance(path, tuple):
+        raise EvaluationError("f_member expects a list as first argument")
+    return 1 if item in path else 0
+
+
+@register("f_size")
+def f_size(path) -> int:
+    """Number of elements in a list."""
+    if not isinstance(path, tuple):
+        raise EvaluationError("f_size expects a list")
+    return len(path)
+
+
+@register("f_first")
+def f_first(path):
+    """First element of a non-empty list."""
+    if not isinstance(path, tuple) or not path:
+        raise EvaluationError("f_first expects a non-empty list")
+    return path[0]
+
+
+@register("f_last")
+def f_last(path):
+    """Last element of a non-empty list."""
+    if not isinstance(path, tuple) or not path:
+        raise EvaluationError("f_last expects a non-empty list")
+    return path[-1]
+
+
+@register("f_init")
+def f_init(item) -> Tuple:
+    """Singleton list containing ``item``."""
+    return (item,)
+
+
+@register("f_append")
+def f_append(path, item) -> Tuple:
+    """List with ``item`` appended."""
+    if not isinstance(path, tuple):
+        raise EvaluationError("f_append expects a list")
+    return path + (item,)
+
+
+@register("f_prepend")
+def f_prepend(item, path) -> Tuple:
+    """List with ``item`` prepended."""
+    if not isinstance(path, tuple):
+        raise EvaluationError("f_prepend expects a list")
+    return (item,) + path
+
+
+@register("f_reverse")
+def f_reverse(path) -> Tuple:
+    """Reversed copy of a list."""
+    if not isinstance(path, tuple):
+        raise EvaluationError("f_reverse expects a list")
+    return tuple(reversed(path))
+
+
+@register("f_prevhop")
+def f_prevhop(path, node):
+    """The element immediately before ``node`` in ``path``.
+
+    Used to route answer tuples back along the reverse of a discovered
+    path (query-result caching, Section 5.2).
+    """
+    if not isinstance(path, tuple):
+        raise EvaluationError("f_prevhop expects a list")
+    try:
+        index = path.index(node)
+    except ValueError:
+        raise EvaluationError(f"{node!r} not on path {path!r}") from None
+    if index == 0:
+        return node
+    return path[index - 1]
+
+
+@register("f_subpath")
+def f_subpath(path, node) -> Tuple:
+    """The suffix of ``path`` starting at ``node`` (inclusive).
+
+    Subpaths of shortest paths are themselves shortest, so this is the
+    value cached at intermediate nodes (Section 5.2).
+    """
+    if not isinstance(path, tuple):
+        raise EvaluationError("f_subpath expects a list")
+    try:
+        index = path.index(node)
+    except ValueError:
+        raise EvaluationError(f"{node!r} not on path {path!r}") from None
+    return path[index:]
+
+
+@register("f_min")
+def f_min(a, b):
+    """Binary minimum."""
+    return a if a <= b else b
+
+
+@register("f_max")
+def f_max(a, b):
+    """Binary maximum."""
+    return a if a >= b else b
+
+
+def default_functions() -> Dict[str, Callable]:
+    """A fresh copy of the builtin registry (callers may extend it)."""
+    return dict(REGISTRY)
+
+
+# Re-export for convenience in user programs.
+__all__ = ["REGISTRY", "register", "default_functions", "node_sequence", "NIL"]

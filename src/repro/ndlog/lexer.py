@@ -1,0 +1,175 @@
+"""Tokenizer for NDlog source text.
+
+The surface syntax follows the paper (and P2's OverLog dialect closely
+enough to express every program in the paper):
+
+* rules             ``SP1: path(@S,@D,@D,P,C) :- #link(@S,@D,C), ... .``
+* queries           ``Query: shortestPath(@S,@D,P,C).``
+* declarations      ``materialize(link, infinity, infinity, keys(1,2)).``
+* facts             ``link(@a, @b, 5).``
+* comments          ``/* ... */``, ``// ...`` and ``% ...``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import NDlogSyntaxError
+
+# Token kinds.
+IDENT = "IDENT"          # lowercase-initial identifier (predicate / atom / function)
+VARIABLE = "VARIABLE"    # uppercase-initial identifier
+NUMBER = "NUMBER"
+STRING = "STRING"
+PUNCT = "PUNCT"          # punctuation and operators
+EOF = "EOF"
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_MULTI_OPS = (":-", ":=", "==", "!=", "<=", ">=", "&&", "||")
+_SINGLE_OPS = "()[]{}<>,.@#=+-*/%!:?"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+class Lexer:
+    """A hand-rolled scanner producing :class:`Token` objects."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> NDlogSyntaxError:
+        return NDlogSyntaxError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "%":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            line, column = self.line, self.column
+            if self.pos >= len(self.source):
+                yield Token(EOF, "", line, column)
+                return
+            char = self._peek()
+
+            if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                yield self._number(line, column)
+                continue
+            if char.isalpha() or char == "_":
+                yield self._identifier(line, column)
+                continue
+            if char == '"' or char == "'":
+                yield self._string(char, line, column)
+                continue
+
+            matched = False
+            for op in _MULTI_OPS:
+                if self.source.startswith(op, self.pos):
+                    self._advance(len(op))
+                    yield Token(PUNCT, op, line, column)
+                    matched = True
+                    break
+            if matched:
+                continue
+            if char in _SINGLE_OPS:
+                self._advance()
+                yield Token(PUNCT, char, line, column)
+                continue
+            raise self._error(f"unexpected character {char!r}")
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+            else:
+                break
+        return Token(NUMBER, self.source[start:self.pos], line, column)
+
+    def _identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = VARIABLE if text[0].isupper() else IDENT
+        return Token(kind, text, line, column)
+
+    def _string(self, quote: str, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            char = self._peek()
+            if char == quote:
+                self._advance()
+                return Token(STRING, "".join(chars), line, column)
+            if char == "\\":
+                self._advance()
+                escape = self._peek()
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                chars.append(mapping.get(escape, escape))
+                self._advance()
+            else:
+                chars.append(char)
+                self._advance()
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` fully, returning the token list (EOF included)."""
+    return list(Lexer(source).tokens())

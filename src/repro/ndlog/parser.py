@@ -1,0 +1,378 @@
+"""Recursive-descent parser for NDlog.
+
+Produces :class:`repro.ndlog.ast.Program` objects.  The parser is
+deliberately permissive about layout (rules may span lines, labels are
+optional) but strict about structure; malformed input raises
+:class:`repro.errors.NDlogSyntaxError` with position information.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import NDlogSyntaxError
+from repro.ndlog import lexer
+from repro.ndlog.ast import (
+    Assignment,
+    Condition,
+    INFINITY,
+    Literal,
+    Materialization,
+    Program,
+    Rule,
+)
+from repro.ndlog.terms import (
+    AGGREGATE_FUNCS,
+    AggregateSpec,
+    BinOp,
+    Constant,
+    FuncCall,
+    NIL,
+    Term,
+    TupleTerm,
+    UnaryOp,
+    Variable,
+)
+
+#: Comparison operators usable at the top of a condition.
+_CMP_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = lexer.tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token utilities
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> lexer.Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> lexer.Token:
+        token = self._peek()
+        if token.kind != lexer.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[lexer.Token] = None):
+        token = token or self._peek()
+        raise NDlogSyntaxError(message, token.line, token.column)
+
+    def _expect(self, value: str) -> lexer.Token:
+        token = self._next()
+        if token.value != value:
+            self._error(f"expected {value!r}, found {token.value!r}", token)
+        return token
+
+    def _at(self, value: str, offset: int = 0) -> bool:
+        return self._peek(offset).value == value
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+    def parse_program(self, name: str = "") -> Program:
+        program = Program(name=name)
+        while self._peek().kind != lexer.EOF:
+            self._parse_statement(program)
+        return program
+
+    def _parse_statement(self, program: Program) -> None:
+        token = self._peek()
+        if token.kind == lexer.IDENT and token.value == "materialize":
+            program.materializations.update([self._parse_materialize()])
+            return
+
+        label = ""
+        # A leading ``name:`` (not ``:-``) is a rule label or the Query marker.
+        if token.kind in (lexer.IDENT, lexer.VARIABLE) and self._at(":", 1):
+            label = self._next().value
+            self._expect(":")
+
+        if label.lower() == "query":
+            literal = self._parse_literal()
+            self._expect(".")
+            program.query = literal
+            return
+
+        head = self._parse_literal(allow_aggregates=True)
+        if self._at(":-"):
+            self._next()
+            body = self._parse_body()
+            self._expect(".")
+            program.rules.append(Rule(head=head, body=tuple(body), label=label))
+        else:
+            self._expect(".")
+            program.facts.append(head)
+
+    def _parse_materialize(self) -> Tuple[str, Materialization]:
+        self._expect("materialize")
+        self._expect("(")
+        pred_token = self._next()
+        if pred_token.kind != lexer.IDENT:
+            self._error("materialize expects a predicate name", pred_token)
+        pred = pred_token.value
+
+        lifetime = INFINITY
+        max_size = INFINITY
+        keys: Tuple[int, ...] = ()
+        # Remaining arguments: optional lifetime, size, then keys(...).
+        scalars: List[float] = []
+        while self._at(","):
+            self._next()
+            token = self._peek()
+            if token.value == "keys":
+                self._next()
+                self._expect("(")
+                key_list: List[int] = []
+                while not self._at(")"):
+                    number = self._next()
+                    if number.kind != lexer.NUMBER:
+                        self._error("keys(...) expects integers", number)
+                    key_list.append(int(number.value))
+                    if self._at(","):
+                        self._next()
+                self._expect(")")
+                keys = tuple(key_list)
+            elif token.value == "infinity":
+                self._next()
+                scalars.append(INFINITY)
+            elif token.kind == lexer.NUMBER:
+                self._next()
+                scalars.append(float(token.value))
+            else:
+                self._error("unexpected materialize argument", token)
+        self._expect(")")
+        self._expect(".")
+        if scalars:
+            lifetime = scalars[0]
+        if len(scalars) > 1:
+            max_size = scalars[1]
+        return pred, Materialization(pred, lifetime, max_size, keys)
+
+    # ------------------------------------------------------------------
+    # Rule bodies
+    # ------------------------------------------------------------------
+    def _parse_body(self) -> List[object]:
+        items: List[object] = [self._parse_body_item()]
+        while self._at(","):
+            self._next()
+            items.append(self._parse_body_item())
+        return items
+
+    def _parse_body_item(self) -> object:
+        token = self._peek()
+        # Link literal: ``#link(...)``.
+        if token.value == "#":
+            return self._parse_literal()
+        # Negated literal: ``!pred(...)`` (reserved for future work, parsed
+        # so the validator can reject it with a clear message).
+        if token.value == "!" and self._peek(1).kind == lexer.IDENT and self._at("(", 2):
+            self._next()
+            literal = self._parse_literal()
+            return Literal(literal.pred, literal.args, literal.link_literal, negated=True)
+        # Assignment: ``Var = expr`` or ``Var := expr``.
+        if token.kind == lexer.VARIABLE and (
+            (self._at("=", 1) and not self._at("==", 1)) or self._at(":=", 1)
+        ):
+            var = Variable(self._next().value)
+            self._next()  # '=' or ':='
+            expr = self._parse_expression()
+            return Assignment(var, expr)
+        # Ordinary literal: lowercase name followed by '(' and not a
+        # builtin function call (functions start with ``f_``).
+        if (
+            token.kind == lexer.IDENT
+            and self._at("(", 1)
+            and not token.value.startswith("f_")
+        ):
+            return self._parse_literal()
+        # Anything else is a boolean condition.
+        return Condition(self._parse_expression())
+
+    # ------------------------------------------------------------------
+    # Literals
+    # ------------------------------------------------------------------
+    def _parse_literal(self, allow_aggregates: bool = False) -> Literal:
+        link = False
+        if self._at("#"):
+            self._next()
+            link = True
+        pred_token = self._next()
+        if pred_token.kind != lexer.IDENT:
+            self._error("expected predicate name", pred_token)
+        self._expect("(")
+        args: List[Term] = []
+        while not self._at(")"):
+            args.append(self._parse_literal_arg(allow_aggregates))
+            if self._at(","):
+                self._next()
+        self._expect(")")
+        return Literal(pred_token.value, tuple(args), link_literal=link)
+
+    def _parse_literal_arg(self, allow_aggregates: bool) -> Term:
+        token = self._peek()
+        if (
+            allow_aggregates
+            and token.kind == lexer.IDENT
+            and token.value in AGGREGATE_FUNCS
+            and self._at("<", 1)
+        ):
+            func = self._next().value
+            self._expect("<")
+            if self._at("*"):
+                self._next()
+                var = ""
+            else:
+                var_token = self._next()
+                if var_token.kind != lexer.VARIABLE:
+                    self._error("aggregate expects a variable", var_token)
+                var = var_token.value
+            self._expect(">")
+            return AggregateSpec(func, var)
+        return self._parse_expression()
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> Term:
+        return self._parse_or()
+
+    def _parse_or(self) -> Term:
+        left = self._parse_and()
+        while self._at("||"):
+            self._next()
+            left = BinOp("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Term:
+        left = self._parse_comparison()
+        while self._at("&&"):
+            self._next()
+            left = BinOp("&&", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Term:
+        left = self._parse_additive()
+        for op in _CMP_OPS:
+            if self._at(op):
+                self._next()
+                return BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Term:
+        left = self._parse_multiplicative()
+        while self._at("+") or self._at("-"):
+            op = self._next().value
+            left = BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Term:
+        left = self._parse_unary()
+        while self._at("*") or self._at("/") or self._at("%"):
+            op = self._next().value
+            left = BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Term:
+        if self._at("-"):
+            self._next()
+            return UnaryOp("-", self._parse_unary())
+        if self._at("!"):
+            self._next()
+            return UnaryOp("!", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Term:
+        token = self._peek()
+
+        if token.value == "(":
+            self._next()
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+
+        if token.value == "[":
+            return self._parse_list()
+
+        if token.value == "@":
+            self._next()
+            inner = self._next()
+            if inner.kind == lexer.VARIABLE:
+                return Variable(inner.value, location=True)
+            if inner.kind == lexer.IDENT:
+                return Constant(inner.value, location=True)
+            if inner.kind == lexer.NUMBER:
+                return Constant(_number(inner.value), location=True)
+            self._error("expected address after '@'", inner)
+
+        if token.kind == lexer.NUMBER:
+            self._next()
+            return Constant(_number(token.value))
+
+        if token.kind == lexer.STRING:
+            self._next()
+            return Constant(token.value)
+
+        if token.kind == lexer.VARIABLE:
+            self._next()
+            return Variable(token.value)
+
+        if token.kind == lexer.IDENT:
+            self._next()
+            name = token.value
+            if name == "nil":
+                return Constant(NIL)
+            if name == "true":
+                return Constant(True)
+            if name == "false":
+                return Constant(False)
+            if name == "infinity":
+                return Constant(INFINITY)
+            if self._at("("):
+                self._next()
+                args: List[Term] = []
+                while not self._at(")"):
+                    args.append(self._parse_expression())
+                    if self._at(","):
+                        self._next()
+                self._expect(")")
+                if name.startswith("f_"):
+                    return FuncCall(name, tuple(args))
+                # ``link(@S,@D,C)`` used as a term (rule SP1 in the paper).
+                return TupleTerm(name, tuple(args))
+            # A bare atom.
+            return Constant(name)
+
+        self._error(f"unexpected token {token.value!r}", token)
+
+    def _parse_list(self) -> Term:
+        self._expect("[")
+        values: List[object] = []
+        while not self._at("]"):
+            item = self._parse_expression()
+            if not isinstance(item, Constant):
+                self._error("list literals may contain only constants")
+            values.append(item.value)
+            if self._at(","):
+                self._next()
+        self._expect("]")
+        return Constant(tuple(values))
+
+
+def _number(text: str):
+    return float(text) if "." in text else int(text)
+
+
+def parse(source: str, name: str = "") -> Program:
+    """Parse NDlog ``source`` text into a :class:`Program`."""
+    return Parser(source).parse_program(name=name)
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (convenience for tests and rewrites)."""
+    program = parse(source)
+    if len(program.rules) != 1:
+        raise NDlogSyntaxError("expected exactly one rule")
+    return program.rules[0]

@@ -1,0 +1,115 @@
+"""Pretty-printer emitting parseable NDlog source.
+
+``parse(format_program(p))`` reproduces ``p`` structurally; the property
+tests rely on this round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ReproError
+from repro.ndlog.ast import (
+    Assignment,
+    Condition,
+    INFINITY,
+    Literal,
+    Materialization,
+    Program,
+    Rule,
+)
+from repro.ndlog.terms import (
+    AggregateSpec,
+    BinOp,
+    Constant,
+    FuncCall,
+    NIL,
+    Term,
+    TupleTerm,
+    UnaryOp,
+    Variable,
+)
+
+
+def format_value(value) -> str:
+    """Render a constant value as NDlog source."""
+    if value == NIL and isinstance(value, tuple):
+        return "nil"
+    if isinstance(value, tuple):
+        return "[" + ", ".join(format_value(v) for v in value) + "]"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        if value == INFINITY:
+            return "infinity"
+        return repr(value)
+    if isinstance(value, str):
+        if value.isidentifier() and value[0].islower():
+            return value
+        return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    raise ReproError(f"cannot format constant {value!r}")
+
+
+def format_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return ("@" if term.location else "") + term.name
+    if isinstance(term, Constant):
+        if term.location:
+            return "@" + str(term.value)
+        return format_value(term.value)
+    if isinstance(term, AggregateSpec):
+        return f"{term.func}<{term.var or '*'}>"
+    if isinstance(term, FuncCall):
+        return f"{term.name}({', '.join(format_term(a) for a in term.args)})"
+    if isinstance(term, TupleTerm):
+        return f"{term.pred}({', '.join(format_term(a) for a in term.args)})"
+    if isinstance(term, BinOp):
+        return f"({format_term(term.left)} {term.op} {format_term(term.right)})"
+    if isinstance(term, UnaryOp):
+        return f"{term.op}{format_term(term.operand)}"
+    raise ReproError(f"cannot format term {term!r}")
+
+
+def format_literal(literal: Literal) -> str:
+    hash_mark = "#" if literal.link_literal else ""
+    args = ", ".join(format_term(a) for a in literal.args)
+    return f"{hash_mark}{literal.pred}({args})"
+
+
+def format_body_item(item) -> str:
+    if isinstance(item, Literal):
+        return format_literal(item)
+    if isinstance(item, Assignment):
+        return f"{item.var.name} := {format_term(item.expr)}"
+    if isinstance(item, Condition):
+        return format_term(item.expr)
+    raise ReproError(f"cannot format body item {item!r}")
+
+
+def format_rule(rule: Rule) -> str:
+    label = f"{rule.label}: " if rule.label else ""
+    head = format_literal(rule.head)
+    if not rule.body:
+        return f"{label}{head}."
+    body = ", ".join(format_body_item(i) for i in rule.body)
+    return f"{label}{head} :- {body}."
+
+
+def format_materialization(mat: Materialization) -> str:
+    life = "infinity" if mat.lifetime == INFINITY else repr(mat.lifetime)
+    size = "infinity" if mat.max_size == INFINITY else repr(mat.max_size)
+    keys = ", ".join(str(k) for k in mat.keys)
+    return f"materialize({mat.pred}, {life}, {size}, keys({keys}))."
+
+
+def format_program(program: Program) -> str:
+    lines: List[str] = []
+    for mat in program.materializations.values():
+        lines.append(format_materialization(mat))
+    for fact in program.facts:
+        lines.append(format_literal(fact) + ".")
+    for rule in program.rules:
+        lines.append(format_rule(rule))
+    if program.query is not None:
+        lines.append(f"Query: {format_literal(program.query)}.")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,200 @@
+"""Canonical NDlog programs from the paper, plus standard test programs.
+
+Each builder returns a freshly parsed :class:`~repro.ndlog.ast.Program`.
+The shortest-path program appears in three forms:
+
+* :func:`shortest_path` -- the literal Figure 1 program (SP1-SP4).  On a
+  cyclic graph it only terminates when aggregate selections are enabled,
+  exactly as discussed in Sections 2 and 5.1.1 of the paper.
+* :func:`shortest_path_safe` -- adds the ``f_member`` cycle guard to SP2,
+  so it terminates under any evaluation strategy (this is the guard the
+  path-vector protocol the query models would carry).
+* :func:`shortest_path_dynamic` -- the protocol form used for the dynamic
+  experiments (Figures 13/14): cycle guard plus
+  ``materialize(path, keys(1,2,3))`` so each (src, dst, nexthop) slot
+  holds the neighbour's latest advertisement, enabling eventual
+  consistency under deletions and cost increases.
+"""
+
+from __future__ import annotations
+
+from repro.ndlog.ast import Program
+from repro.ndlog.parser import parse
+
+SHORTEST_PATH = """
+SP1: path(@S, @D, @D, P, C) :- #link(@S, @D, C),
+     P := f_concatPath(link(@S, @D, C), nil).
+SP2: path(@S, @D, @Z, P, C) :- #link(@S, @Z, C1),
+     path(@Z, @D, @Z2, P2, C2), C := C1 + C2,
+     P := f_concatPath(link(@S, @Z, C1), P2).
+SP3: spCost(@S, @D, min<C>) :- path(@S, @D, @Z, P, C).
+SP4: shortestPath(@S, @D, P, C) :- spCost(@S, @D, C), path(@S, @D, @Z, P, C).
+Query: shortestPath(@S, @D, P, C).
+"""
+
+SHORTEST_PATH_SAFE = """
+SP1: path(@S, @D, @D, P, C) :- #link(@S, @D, C),
+     P := f_concatPath(link(@S, @D, C), nil).
+SP2: path(@S, @D, @Z, P, C) :- #link(@S, @Z, C1),
+     path(@Z, @D, @Z2, P2, C2), f_member(P2, S) == 0, C := C1 + C2,
+     P := f_concatPath(link(@S, @Z, C1), P2).
+SP3: spCost(@S, @D, min<C>) :- path(@S, @D, @Z, P, C).
+SP4: shortestPath(@S, @D, P, C) :- spCost(@S, @D, C), path(@S, @D, @Z, P, C).
+Query: shortestPath(@S, @D, P, C).
+"""
+
+SHORTEST_PATH_DYNAMIC = """
+materialize(path, infinity, infinity, keys(1, 2, 3)).
+SP1: path(@S, @D, @D, P, C) :- #link(@S, @D, C),
+     P := f_concatPath(link(@S, @D, C), nil).
+SP2: path(@S, @D, @Z, P, C) :- #link(@S, @Z, C1),
+     path(@Z, @D, @Z2, P2, C2), f_member(P2, S) == 0, C := C1 + C2,
+     P := f_concatPath(link(@S, @Z, C1), P2).
+SP3: spCost(@S, @D, min<C>) :- path(@S, @D, @Z, P, C).
+SP4: shortestPath(@S, @D, P, C) :- spCost(@S, @D, C), path(@S, @D, @Z, P, C).
+Query: shortestPath(@S, @D, P, C).
+"""
+
+MAGIC_DST = """
+SP1D: path(@S, @D, @D, P, C) :- magicDst(@D), #link(@S, @D, C),
+      P := f_concatPath(link(@S, @D, C), nil).
+SP2: path(@S, @D, @Z, P, C) :- #link(@S, @Z, C1),
+     path(@Z, @D, @Z2, P2, C2), f_member(P2, S) == 0, C := C1 + C2,
+     P := f_concatPath(link(@S, @Z, C1), P2).
+SP3: spCost(@S, @D, min<C>) :- path(@S, @D, @Z, P, C).
+SP4: shortestPath(@S, @D, P, C) :- spCost(@S, @D, C), path(@S, @D, @Z, P, C).
+Query: shortestPath(@S, @D, P, C).
+"""
+
+MAGIC_SRC_DST = """
+SP1SD: pathDst(@D, @S, @D, P, C) :- magicSrc(@S), #link(@S, @D, C),
+       P := f_concatPath(link(@S, @D, C), nil).
+SP2SD: pathDst(@D, @S, @Z, P, C) :- pathDst(@Z, @S, @Z1, P1, C1),
+       #link(@Z, @D, C2), f_member(P1, D) == 0, C := C1 + C2,
+       P := f_concatPath(P1, link(@Z, @D, C2)).
+SP3SD: spCost(@D, @S, min<C>) :- magicDst(@D), pathDst(@D, @S, @Z, P, C).
+SP4SD: shortestPath(@D, @S, P, C) :- spCost(@D, @S, C),
+       pathDst(@D, @S, @Z, P, C).
+Query: shortestPath(@D, @S, P, C).
+"""
+
+MULTI_QUERY_MAGIC = """
+MQ1: pathQ(@D, Qid, @Dst, P, C) :- magicQuery(@S, Qid, @Dst), #link(@S, @D, C),
+     P := f_concatPath(link(@S, @D, C), nil).
+MQ2: pathQ(@D, Qid, @Dst, P, C) :- pathQ(@Z, Qid, @Dst, P1, C1),
+     #link(@Z, @D, C2), Z != Dst, f_member(P1, D) == 0,
+     C := C1 + C2, P := f_concatPath(P1, link(@Z, @D, C2)).
+MQ3: qCost(@Dst, Qid, min<C>) :- pathQ(@Dst, Qid, @Dst, P, C).
+MQ4: answer(@Dst, Qid, P, C) :- qCost(@Dst, Qid, C), pathQ(@Dst, Qid, @Dst, P, C).
+MQ5: answer(@N, Qid, P, C) :- answer(@M, Qid, P, C), #link(@M, @N, C2),
+     N == f_prevhop(P, M), M != f_first(P).
+MQ6: ansCost(@N, Qid, min<C>) :- answer(@N, Qid, P, C), N == f_first(P).
+MQ7: queryResult(@N, Qid, P, C) :- ansCost(@N, Qid, C),
+     answer(@N, Qid, P, C), N == f_first(P).
+Query: queryResult(@N, Qid, P, C).
+"""
+
+REACHABILITY = """
+R1: reach(@S, @D) :- #link(@S, @D, C).
+R2: reach(@S, @D) :- #link(@S, @Z, C), reach(@Z, @D).
+Query: reach(@S, @D).
+"""
+
+DISTANCE_VECTOR = """
+DV1: route(@S, @D, @D, C) :- #link(@S, @D, C).
+DV2: route(@S, @D, @Z, C) :- #link(@S, @Z, C1), route(@Z, @D, @Z2, C2),
+     S != D, C := C1 + C2, C < 16.
+DV3: bestCost(@S, @D, min<C>) :- route(@S, @D, @Z, C).
+DV4: bestRoute(@S, @D, @Z, C) :- bestCost(@S, @D, C), route(@S, @D, @Z, C).
+Query: bestRoute(@S, @D, @Z, C).
+"""
+
+TRANSITIVE_CLOSURE = """
+T1: tc(X, Y) :- edge(X, Y).
+T2: tc(X, Z) :- edge(X, Y), tc(Y, Z).
+Query: tc(X, Y).
+"""
+
+TRANSITIVE_CLOSURE_NONLINEAR = """
+T1: tc(X, Y) :- edge(X, Y).
+T2: tc(X, Z) :- tc(X, Y), tc(Y, Z).
+Query: tc(X, Y).
+"""
+
+SAME_GENERATION = """
+S1: sg(X, X) :- person(X).
+S2: sg(X, Y) :- parent(X, Xp), sg(Xp, Yp), parent(Y, Yp).
+Query: sg(X, Y).
+"""
+
+
+def shortest_path() -> Program:
+    """Figure 1 of the paper, verbatim (modulo ``:=`` for assignments)."""
+    return parse(SHORTEST_PATH, name="shortest_path")
+
+
+def shortest_path_safe() -> Program:
+    """Figure 1 plus a cycle guard on SP2 (terminates without pruning)."""
+    return parse(SHORTEST_PATH_SAFE, name="shortest_path_safe")
+
+
+def shortest_path_dynamic() -> Program:
+    """Protocol form for dynamic networks (Figures 13/14); see module doc."""
+    return parse(SHORTEST_PATH_DYNAMIC, name="shortest_path_dynamic")
+
+
+def magic_dst() -> Program:
+    """Section 5.1.2's SP1-D rewrite: paths only for ``magicDst`` targets."""
+    return parse(MAGIC_DST, name="magic_dst")
+
+
+def magic_src_dst() -> Program:
+    """The magic-shortest-path query (SP1-SD..SP4-SD): top-down search
+    filtered by both ``magicSrc`` and ``magicDst``."""
+    return parse(MAGIC_SRC_DST, name="magic_src_dst")
+
+
+def multi_query_magic() -> Program:
+    """Multi-query form of the magic-shortest-path program.
+
+    Each query is a ``magicQuery(@src, qid, @dst)`` fact; ``pathQ`` tuples
+    carry the query id and intended destination, the destination derives
+    the ``answer`` and rule MQ5 routes it back hop-by-hop along the
+    discovered path's reverse (enabling the result caching of Section
+    5.2).  Used by the Figure 11 experiment.
+    """
+    return parse(MULTI_QUERY_MAGIC, name="multi_query_magic")
+
+
+def reachability() -> Program:
+    """Two-rule network reachability (terminates on cyclic graphs)."""
+    return parse(REACHABILITY, name="reachability")
+
+
+def distance_vector() -> Program:
+    """Distance-vector routing with a RIP-style hop bound of 16.
+
+    Without a path vector there is nothing to guard cycles with, so the
+    relation keeps set semantics (full-tuple key; the C < 16 bound makes
+    the domain finite) -- keyed "latest advert wins" slots would
+    count-to-infinity around cycles, which is exactly the pathology path
+    vectors exist to prevent (Section 2.3).
+    """
+    return parse(DISTANCE_VECTOR, name="distance_vector")
+
+
+def transitive_closure() -> Program:
+    """Classic linear transitive closure (plain Datalog, for engine tests)."""
+    return parse(TRANSITIVE_CLOSURE, name="transitive_closure")
+
+
+def transitive_closure_nonlinear() -> Program:
+    """Non-linear transitive closure (exercises Theorem 2's timestamp
+    discipline: two recursive literals in one body)."""
+    return parse(TRANSITIVE_CLOSURE_NONLINEAR, name="transitive_closure_nonlinear")
+
+
+def same_generation() -> Program:
+    """The classic same-generation query (plain Datalog, for magic-sets
+    tests)."""
+    return parse(SAME_GENERATION, name="same_generation")

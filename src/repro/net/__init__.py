@@ -1,0 +1,20 @@
+"""Network substrate: deterministic discrete-event simulation with FIFO
+links, a byte-accurate message size model, and traffic accounting."""
+
+from repro.net.link import DEFAULT_BANDWIDTH_BPS, LinkChannel
+from repro.net.message import HEADER_BYTES, Message, NetDelta, single, tuple_size
+from repro.net.sim import Simulator
+from repro.net.stats import ResultTracker, TrafficStats
+
+__all__ = [
+    "Simulator",
+    "LinkChannel",
+    "DEFAULT_BANDWIDTH_BPS",
+    "Message",
+    "NetDelta",
+    "single",
+    "tuple_size",
+    "HEADER_BYTES",
+    "TrafficStats",
+    "ResultTracker",
+]

@@ -1,0 +1,82 @@
+"""Messages and the on-wire size model.
+
+The paper's primary communication metric is bytes transferred (aggregate
+MB and per-node kBps).  We charge each tuple a header plus a simple
+per-field encoding; the absolute constants are unimportant for shape
+reproduction, but path vectors must grow with hop count (longer paths
+cost more to ship), which this model captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.ndlog.terms import ConstructedTuple
+
+#: Fixed per-message overhead (transport headers etc.).
+HEADER_BYTES = 20
+#: Per-delta overhead when several deltas share one message (sharing).
+DELTA_HEADER_BYTES = 4
+
+
+def value_size(value) -> int:
+    """Encoded size of one field value, in bytes."""
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return max(4, len(value))
+    if isinstance(value, tuple):
+        return 4 + sum(value_size(item) for item in value)
+    if isinstance(value, ConstructedTuple):
+        return 4 + sum(value_size(item) for item in value.values)
+    return 8
+
+
+def tuple_size(pred: str, args: Tuple) -> int:
+    """Size of one tuple payload (without the message header)."""
+    return len(pred) + sum(value_size(value) for value in args)
+
+
+@dataclass(frozen=True)
+class NetDelta:
+    """One signed tuple as shipped over a link."""
+
+    pred: str
+    args: Tuple
+    sign: int
+
+    def payload_size(self) -> int:
+        return DELTA_HEADER_BYTES + tuple_size(self.pred, self.args)
+
+
+@dataclass
+class Message:
+    """A network message: one or more deltas from ``src`` to ``dst``.
+
+    Multiple deltas in one message model the opportunistic message
+    sharing of Section 5.2: ``shared_fields`` are charged once.
+    """
+
+    src: str
+    dst: str
+    deltas: Tuple[NetDelta, ...]
+    shared_bytes: int = 0
+
+    @property
+    def size(self) -> int:
+        if self.shared_bytes:
+            # Shared fields charged once; each member pays only its
+            # distinct remainder plus a small delta header.
+            distinct = sum(
+                max(0, delta.payload_size() - self.shared_bytes)
+                for delta in self.deltas
+            )
+            return HEADER_BYTES + self.shared_bytes + distinct
+        return HEADER_BYTES + sum(d.payload_size() for d in self.deltas)
+
+
+def single(src: str, dst: str, pred: str, args: Tuple, sign: int) -> Message:
+    return Message(src=src, dst=dst, deltas=(NetDelta(pred, args, sign),))

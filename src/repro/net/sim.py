@@ -1,0 +1,94 @@
+"""Deterministic discrete-event simulator.
+
+Replaces the Emulab testbed as the substrate for the paper's experiments
+(see the substitution table in DESIGN.md).  All experiment metrics --
+convergence seconds, kBps over time -- are measured in *virtual* time, so
+results are reproducible and independent of host speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import NetworkError
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.at`; allows cancellation."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal event loop: schedule callbacks at virtual times.
+
+    Ties are broken by scheduling order, so runs are fully deterministic.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise NetworkError(
+                f"cannot schedule at {time} (now is {self.now})"
+            )
+        handle = EventHandle()
+        heapq.heappush(self._heap, (time, next(self._sequence), handle, callback))
+        return handle
+
+    def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise NetworkError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the heap is empty."""
+        while self._heap:
+            time, _seq, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> float:
+        """Run until quiescence (or virtual time ``until``); returns the
+        final virtual time."""
+        processed = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            if not self.step():
+                break
+            processed += 1
+            if processed > max_events:
+                raise NetworkError(
+                    f"simulation exceeded {max_events} events (livelock?)"
+                )
+        return self.now

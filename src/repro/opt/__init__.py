@@ -1,0 +1,7 @@
+"""Query optimizations from Section 5: aggregate selections (+ the
+arg-min advertising view), cost-based hybrid search; result caching and
+message sharing live in the runtime transport/config layer."""
+
+from repro.opt import aggsel, costbased
+
+__all__ = ["aggsel", "costbased"]

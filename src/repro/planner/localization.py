@@ -1,0 +1,270 @@
+"""Rule localization rewrite -- Algorithm 2 of the paper.
+
+A non-local link-restricted rule may reference predicates stored at both
+endpoints of its link literal (rule SP2 joins ``#link`` stored at ``@S``
+with ``path`` stored at ``@Z``).  Localization rewrites every such rule
+into rules whose bodies are evaluable at a single node, with all
+communication along links (Claim 1):
+
+* a *send* rule groups the link with the body items at the link's source
+  and ships the needed variables to the destination (the paper fuses the
+  ``hS``/``hD`` pair into one rule in its SP2a example; we do the same);
+* a *final* rule joins the shipped tuple with the destination-side items;
+  if the original head lives at the source, the final rule carries a
+  reverse ``#link(@D,@S,...)`` literal so the result travels back along
+  the same (bidirectional) link -- "the algorithm ... may add a
+  #link(@D,@S) to a rewritten rule to allow for backward propagation of
+  messages".
+
+After localization every rule satisfies the *canonical form*: its body
+has one location, and its head is either local or exactly one link hop
+away (see :func:`is_canonical`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PlanError
+from repro.ndlog.ast import (
+    Assignment,
+    Condition,
+    Literal,
+    Program,
+    Rule,
+)
+from repro.ndlog.terms import AggregateSpec, Constant, Term, Variable
+from repro.ndlog.validator import is_link_restricted, is_local_rule
+
+
+def _location_key(term: Term):
+    if isinstance(term, Variable):
+        return ("var", term.name)
+    if isinstance(term, Constant):
+        return ("const", term.value)
+    raise PlanError(f"location specifier must be a variable or constant: {term!r}")
+
+
+def _fresh_var(base: str, used: Set[str]) -> Variable:
+    name = base
+    for counter in itertools.count(2):
+        if name not in used:
+            used.add(name)
+            return Variable(name)
+        name = f"{base}{counter}"
+    raise AssertionError("unreachable")
+
+
+def localize_rule(
+    rule: Rule,
+    index: int,
+    used_preds: Set[str],
+    materializations: Optional[Dict[str, "Materialization"]] = None,
+) -> List[Rule]:
+    """Localize one rule; returns replacement rules (possibly just
+    ``[rule]`` when it is already canonical).
+
+    When the send rule ships nothing but the link itself (the common
+    SP2a/"linkD" case), the mid relation has exactly one row per link
+    row, so it is declared with a primary key on its first two fields
+    (via ``materializations``, if given): a link-cost update then
+    travels as a single replacement message instead of a
+    deletion/insertion pair.
+    """
+    if is_local_rule(rule):
+        return [rule]
+    if not is_link_restricted(rule):
+        raise PlanError(
+            f"rule {rule.label or rule.head.pred} is neither local nor "
+            f"link-restricted; cannot localize"
+        )
+    link = next(lit for lit in rule.body_literals if lit.link_literal)
+    src_key = _location_key(link.args[0])
+    dst_key = _location_key(link.args[1])
+
+    # Partition body items between the link's endpoints.  Assignments and
+    # conditions run at the earliest endpoint where their inputs are
+    # bound (source first, matching left-to-right evaluation).
+    src_items: List[object] = [link]
+    dst_items: List[object] = []
+    src_bound: Set[str] = set(link.variables())
+    for item in rule.body:
+        if item is link:
+            continue
+        if isinstance(item, Literal):
+            where = _location_key(item.location)
+            if where == src_key:
+                src_items.append(item)
+                src_bound |= item.variables()
+            elif where == dst_key:
+                dst_items.append(item)
+            else:
+                raise PlanError(
+                    f"literal {item!r} located off the link endpoints"
+                )
+        elif isinstance(item, Assignment):
+            if not dst_items and item.expr.variables() <= src_bound:
+                src_items.append(item)
+                src_bound.add(item.var.name)
+            else:
+                dst_items.append(item)
+        elif isinstance(item, Condition):
+            if not dst_items and item.variables() <= src_bound:
+                src_items.append(item)
+            else:
+                dst_items.append(item)
+        else:
+            raise PlanError(f"unsupported body item {item!r}")
+
+    head_key = _location_key(rule.head.location)
+    if not dst_items:
+        # Body fully evaluable at the source; the head is local or one
+        # hop away along the link.  Already canonical.
+        return [rule]
+
+    # --------------------------------------------------------------
+    # Variables the destination side needs from the source side.
+    # --------------------------------------------------------------
+    dst_needs: Set[str] = set()
+    for item in dst_items:
+        dst_needs |= item.variables()
+    head_vars: Set[str] = set()
+    for arg in rule.head.args:
+        head_vars |= arg.variables()
+    dst_needs |= head_vars
+
+    link_src_var = link.args[0]
+    link_dst_var = link.args[1]
+    carried_names = sorted(
+        name
+        for name in (src_bound & dst_needs)
+        - ({link_src_var.name} if isinstance(link_src_var, Variable) else set())
+        - ({link_dst_var.name} if isinstance(link_dst_var, Variable) else set())
+    )
+
+    base = (rule.label or f"r{index}").lower()
+    mid_pred = f"{base}_{rule.head.pred}_mid"
+    while mid_pred in used_preds:
+        mid_pred += "x"
+    used_preds.add(mid_pred)
+
+    # Send rule: evaluate the source-side items at @S, ship the carried
+    # variables to @D (location specifier first, then the sender).
+    mid_head = Literal(
+        mid_pred,
+        (
+            _as_location(link_dst_var),
+            _as_location(link_src_var),
+            *(Variable(name) for name in carried_names),
+        ),
+    )
+    send_rule = Rule(
+        head=mid_head,
+        body=tuple(src_items),
+        label=f"{rule.label}a" if rule.label else f"{base}a",
+    )
+    if materializations is not None and not any(
+        isinstance(item, Literal) and item is not link for item in src_items
+    ):
+        from repro.ndlog.ast import Materialization
+
+        materializations[mid_pred] = Materialization(mid_pred, keys=(1, 2))
+
+    # Final rule: join the shipped tuple with the destination items.
+    mid_body = Literal(
+        mid_pred,
+        (
+            _as_location(link_dst_var),
+            _as_location(link_src_var),
+            *(Variable(name) for name in carried_names),
+        ),
+    )
+    final_body: List[object] = [mid_body]
+    if head_key == src_key:
+        # Result must travel back to the source: join the reverse link
+        # (links are bidirectional, Section 2.1) for backward propagation.
+        used_vars = set(rule.variables()) | set(carried_names)
+        extra = tuple(
+            _fresh_var(f"LZ{i}", used_vars) for i in range(link.arity - 2)
+        )
+        reverse_link = Literal(
+            link.pred,
+            (_as_location(link_dst_var), _as_location(link_src_var), *extra),
+            link_literal=True,
+        )
+        final_body.insert(0, reverse_link)
+    final_body.extend(dst_items)
+    final_rule = Rule(
+        head=rule.head,
+        body=tuple(final_body),
+        label=f"{rule.label}b" if rule.label else f"{base}b",
+    )
+    return [send_rule, final_rule]
+
+
+def _as_location(term: Term) -> Term:
+    if isinstance(term, Variable):
+        return Variable(term.name, location=True)
+    if isinstance(term, Constant):
+        return Constant(term.value, location=True)
+    raise PlanError(f"bad location term {term!r}")
+
+
+def localize(program: Program) -> Program:
+    """Apply Algorithm 2 to every rule of ``program``."""
+    used_preds = set(program.predicates())
+    rules: List[Rule] = []
+    materializations = dict(program.materializations)
+    for index, rule in enumerate(program.rules):
+        rules.extend(localize_rule(rule, index, used_preds, materializations))
+    return Program(
+        rules=rules,
+        facts=list(program.facts),
+        materializations=materializations,
+        query=program.query,
+        name=f"{program.name}_localized" if program.name else "localized",
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical-form verification (Claim 1)
+# ----------------------------------------------------------------------
+def rule_execution_site(rule: Rule):
+    """The single location key at which a canonical rule body executes."""
+    sites = {_location_key(lit.location) for lit in rule.body_literals}
+    if len(sites) != 1:
+        raise PlanError(
+            f"rule {rule.label or rule.head.pred} body spans {len(sites)} "
+            f"locations; run localization first"
+        )
+    return next(iter(sites))
+
+
+def head_is_local(rule: Rule) -> bool:
+    return _location_key(rule.head.location) == rule_execution_site(rule)
+
+
+def is_canonical(program: Program) -> bool:
+    """Claim 1: every rule body evaluable at a single node, and every
+    non-local head one link hop away (its location appears as an endpoint
+    of a link literal in the body)."""
+    for rule in program.rules:
+        if not rule.body:
+            continue
+        try:
+            site = rule_execution_site(rule)
+        except PlanError:
+            return False
+        head_key = _location_key(rule.head.location)
+        if head_key == site:
+            continue
+        link_endpoints = set()
+        for lit in rule.body_literals:
+            if lit.link_literal and lit.arity >= 2:
+                link_endpoints.add(_location_key(lit.args[0]))
+                link_endpoints.add(_location_key(lit.args[1]))
+        if head_key not in link_endpoints:
+            return False
+    return True

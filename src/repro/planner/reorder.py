@@ -1,0 +1,95 @@
+"""Predicate reordering (Section 5.1.2).
+
+"Interestingly, switching the search strategy can be done simply by
+reordering the path and #link predicates.  This has the effect of
+turning SP2 from a right-recursive to a left-recursive rule."
+
+Reordering never changes Datalog semantics (body conjuncts commute); in
+the distributed setting it flips which endpoint initiates propagation --
+Bottom-Up (paths flow backwards from destinations) versus Top-Down
+(paths flow forward from sources, resembling dynamic source routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence
+
+from repro.errors import PlanError
+from repro.ndlog.ast import Assignment, Condition, Literal, Program, Rule
+
+
+def reorder_body(rule: Rule, literal_order: Sequence[int]) -> Rule:
+    """Permute the rule's body *literals* into ``literal_order`` (indexes
+    into the current literal sequence).  Assignments and conditions are
+    re-placed greedily at the earliest point where their inputs are
+    bound, preserving left-to-right evaluability."""
+    literals = list(rule.body_literals)
+    if sorted(literal_order) != list(range(len(literals))):
+        raise PlanError(f"bad literal order {literal_order!r}")
+    ordered = [literals[i] for i in literal_order]
+    rest = [item for item in rule.body if not isinstance(item, Literal)]
+
+    body: List[object] = []
+    bound: set = set()
+    pending = list(rest)
+    for literal in ordered:
+        body.append(literal)
+        bound |= literal.variables()
+        placed = []
+        for item in pending:
+            if isinstance(item, Assignment):
+                if item.expr.variables() <= bound:
+                    body.append(item)
+                    bound.add(item.var.name)
+                    placed.append(item)
+            elif isinstance(item, Condition):
+                if item.variables() <= bound:
+                    body.append(item)
+                    placed.append(item)
+        for item in placed:
+            pending.remove(item)
+    if pending:
+        body.extend(pending)  # uninstantiable items keep original order
+    return replace(rule, body=tuple(body))
+
+
+def swap_recursive_to_left(rule: Rule, recursive_pred: str) -> Rule:
+    """Make the recursive literal come first (left-recursive form) --
+    the TD orientation of Section 5.1.2."""
+    literals = list(rule.body_literals)
+    positions = [i for i, lit in enumerate(literals)
+                 if lit.pred == recursive_pred]
+    if not positions:
+        return rule
+    order = positions + [i for i in range(len(literals))
+                         if i not in positions]
+    return reorder_body(rule, order)
+
+
+def swap_recursive_to_right(rule: Rule, recursive_pred: str) -> Rule:
+    """Make the recursive literal come last (right-recursive form) --
+    the BU orientation."""
+    literals = list(rule.body_literals)
+    positions = [i for i, lit in enumerate(literals)
+                 if lit.pred == recursive_pred]
+    if not positions:
+        return rule
+    order = [i for i in range(len(literals)) if i not in positions] + positions
+    return reorder_body(rule, order)
+
+
+def reorder_program(program: Program, recursive_pred: str, to_left: bool) -> Program:
+    """Flip every rule of ``recursive_pred`` between the orientations."""
+    swap = swap_recursive_to_left if to_left else swap_recursive_to_right
+    rules = [
+        swap(rule, recursive_pred) if rule.head.pred == recursive_pred else rule
+        for rule in program.rules
+    ]
+    return Program(
+        rules=rules,
+        facts=list(program.facts),
+        materializations=dict(program.materializations),
+        query=program.query,
+        name=program.name,
+    )

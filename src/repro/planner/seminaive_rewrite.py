@@ -1,0 +1,82 @@
+"""The textual semi-naive rewrite (Section 3.1).
+
+The SN engine performs the delta decomposition internally; this module
+materializes it as a *program* rewrite for inspection, documentation and
+tests -- producing, for rule SP2, exactly the paper's SP2-1::
+
+    d_path_new(@S,@D,@Z,P,C) :- #link(@S,@Z,C1),
+        d_path_old(@Z,@D,@Z2,P2,C2), C = C1 + C2, ...
+
+One delta rule is emitted per occurrence of a recursive predicate in a
+rule body, following footnote 2's form: occurrences before the delta
+position read the ``_old`` relation, the delta position reads the
+``_delta`` relation, and later occurrences read the full relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.ndlog.ast import Literal, Program, Rule
+
+DELTA_NEW_PREFIX = "delta_new_"
+DELTA_OLD_PREFIX = "delta_old_"
+OLD_PREFIX = "old_"
+
+
+def delta_rules_for(rule: Rule, recursive_preds: Set[str]) -> List[Rule]:
+    """The semi-naive delta rules for one rule.
+
+    Non-recursive rules (no recursive body literal) fire only in the
+    base case and are returned unchanged.
+    """
+    recursive_positions = [
+        index
+        for index, item in enumerate(rule.body)
+        if isinstance(item, Literal) and item.pred in recursive_preds
+    ]
+    if not recursive_positions:
+        return [rule]
+
+    out: List[Rule] = []
+    for delta_index, position in enumerate(recursive_positions):
+        body: List[object] = []
+        for index, item in enumerate(rule.body):
+            if not isinstance(item, Literal) or item.pred not in recursive_preds:
+                body.append(item)
+            elif index < position:
+                body.append(item.with_pred(OLD_PREFIX + item.pred))
+            elif index == position:
+                body.append(item.with_pred(DELTA_OLD_PREFIX + item.pred))
+            else:
+                body.append(item)  # full relation
+        head = rule.head.with_pred(DELTA_NEW_PREFIX + rule.head.pred)
+        label = rule.label or rule.head.pred
+        out.append(
+            replace(
+                rule,
+                head=head,
+                body=tuple(body),
+                label=f"{label}-{delta_index + 1}",
+            )
+        )
+    return out
+
+
+def seminaive_rewrite(
+    program: Program, recursive_preds: Optional[Set[str]] = None
+) -> Program:
+    """Emit the delta-rule program for every recursive rule."""
+    if recursive_preds is None:
+        recursive_preds = set(program.idb_predicates())
+    rules: List[Rule] = []
+    for rule in program.rules:
+        rules.extend(delta_rules_for(rule, recursive_preds))
+    return Program(
+        rules=rules,
+        facts=list(program.facts),
+        materializations=dict(program.materializations),
+        query=program.query,
+        name=f"{program.name}_sn" if program.name else "sn",
+    )

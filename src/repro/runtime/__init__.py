@@ -1,0 +1,18 @@
+"""Distributed runtime: per-node PSN dataflows over the simulated
+network, with transport-level optimizations and dynamic workloads."""
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import CachePolicy, RuntimeConfig, ShareSpec
+from repro.runtime.node import NodeRuntime
+from repro.runtime.softstate import SoftStateManager
+from repro.runtime.updates import LinkUpdateDriver
+
+__all__ = [
+    "Cluster",
+    "RuntimeConfig",
+    "ShareSpec",
+    "CachePolicy",
+    "NodeRuntime",
+    "SoftStateManager",
+    "LinkUpdateDriver",
+]

@@ -1,0 +1,163 @@
+"""The distributed engine: compile an NDlog program, deploy it on every
+node of a simulated overlay, run to quiescence, and measure.
+
+This is the Python analogue of the modified P2 system of Section 6: the
+pipeline is validate -> (optional aggregate-selections rewrite) ->
+localize (Algorithm 2) -> per-node strand dataflows executing PSN, with
+all communication along overlay links under FIFO ordering.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.facts import Fact
+from repro.errors import NetworkError, PlanError
+from repro.ndlog.ast import Program
+from repro.ndlog.validator import check
+from repro.net.link import LinkChannel
+from repro.net.message import Message
+from repro.net.sim import Simulator
+from repro.net.stats import ResultTracker, TrafficStats
+from repro.opt import aggsel
+from repro.planner.localization import is_canonical, localize
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.node import NodeRuntime
+from repro.runtime.transport import Transport
+from repro.topology.overlay import Overlay
+
+
+class Cluster:
+    """A deployed declarative network."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        program: Program,
+        config: Optional[RuntimeConfig] = None,
+        link_loads: Optional[Dict[str, str]] = None,
+    ):
+        """``link_loads`` maps each link-relation name in the program to
+        the overlay metric that fills its cost field (default:
+        ``{"link": "latency"}``).  Multiple entries let several queries
+        with distinct link relations run concurrently (Section 6.4)."""
+        self.overlay = overlay
+        self.config = config or RuntimeConfig()
+        self.sim = Simulator()
+        self.stats = TrafficStats()
+        self.trackers: List[ResultTracker] = []
+        self.loss_rng = random.Random(self.config.seed)
+
+        if self.config.validate:
+            check(program)
+        if self.config.aggregate_selections:
+            program = aggsel.rewrite(program)
+        self.source_program = program
+        self.program = localize(program)
+        if not is_canonical(self.program):
+            raise PlanError("localization failed to produce canonical rules")
+
+        self.transport = Transport(self, self.config)
+        self._channels: Dict[Tuple[str, str], LinkChannel] = {}
+        for (a, b), metrics in overlay.links.items():
+            self._channels[(a, b)] = LinkChannel(
+                a=a,
+                b=b,
+                latency=metrics["latency"] / 1000.0,
+                bandwidth_bps=self.config.bandwidth_bps,
+                loss_rate=self.config.loss_rate,
+                metrics=dict(metrics),
+            )
+
+        self.nodes: Dict[str, NodeRuntime] = {
+            name: NodeRuntime(name, self.program, self)
+            for name in overlay.nodes
+        }
+        self._pkeys: Dict[str, Tuple[int, ...]] = {}
+        sample = next(iter(self.nodes.values()))
+        for pred, table in sample.db.tables.items():
+            self._pkeys[pred] = table.key
+
+        link_loads = link_loads or {"link": "latency"}
+        for pred, metric in link_loads.items():
+            self.load_links(pred, metric)
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def load_links(self, pred: str, metric: str) -> None:
+        """Install ``pred(@src, @dst, cost)`` at each link's source."""
+        for src, dst, cost in self.overlay.link_rows(metric):
+            self.nodes[src].insert(pred, (src, dst, cost))
+
+    def inject(self, node: str, pred: str, args: Tuple) -> None:
+        """Insert a base tuple at ``node`` (e.g. a magic fact)."""
+        self.nodes[node].insert(pred, tuple(args))
+
+    def watch(self, pred: str) -> ResultTracker:
+        """Track completion times for ``pred`` (Figures 8/10 curves)."""
+        tracker = ResultTracker(watch_pred=pred)
+        self.trackers.append(tracker)
+        return tracker
+
+    # ------------------------------------------------------------------
+    # Network plumbing (used by NodeRuntime / Transport)
+    # ------------------------------------------------------------------
+    def channel(self, a: str, b: str) -> Optional[LinkChannel]:
+        key = (a, b) if a <= b else (b, a)
+        return self._channels.get(key)
+
+    def ship(self, src: str, dst: str, pred: str, args: Tuple, sign: int) -> None:
+        self.transport.send(src, dst, pred, args, sign)
+
+    def deliver(self, message: Message) -> None:
+        node = self.nodes.get(message.dst)
+        if node is None:
+            raise NetworkError(f"message to unknown node {message.dst}")
+        for delta in message.deltas:
+            node.receive(delta.pred, delta.args, delta.sign)
+
+    def pkey_of(self, pred: str, args: Tuple) -> Tuple:
+        key = self._pkeys.get(pred)
+        if not key:
+            return args
+        return tuple(args[i] for i in key)
+
+    def observe_commit(self, node: str, fact: Fact, sign: int) -> None:
+        for tracker in self.trackers:
+            tracker.on_commit(self.sim.now, fact, sign)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the network until quiescence (or ``until``); returns the
+        final virtual time."""
+        return self.sim.run(until=until)
+
+    @property
+    def quiescent(self) -> bool:
+        return self.sim.pending == 0 and all(
+            node.quiescent for node in self.nodes.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Result access
+    # ------------------------------------------------------------------
+    def rows(self, pred: str, node: Optional[str] = None) -> frozenset:
+        """Union of ``pred`` rows across nodes (or one node's rows)."""
+        if node is not None:
+            return frozenset(self.nodes[node].db.table(pred).rows())
+        out = set()
+        for runtime in self.nodes.values():
+            out.update(runtime.db.table(pred).rows())
+        return frozenset(out)
+
+    def query_rows(self) -> frozenset:
+        if self.source_program.query is None:
+            raise PlanError("program has no query")
+        return self.rows(self.source_program.query.pred)
+
+    def total_deltas_processed(self) -> int:
+        return sum(node.deltas_processed for node in self.nodes.values())

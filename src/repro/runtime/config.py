@@ -1,0 +1,68 @@
+"""Runtime configuration for distributed NDlog execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.link import DEFAULT_BANDWIDTH_BPS
+
+
+@dataclass(frozen=True)
+class ShareSpec:
+    """Opportunistic-sharing description for one relation (Section 5.2).
+
+    Tuples of relations that share ``base`` and agree on every position
+    not listed in ``value_positions`` are joined into one message.
+    """
+
+    base: str
+    value_positions: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Query-result caching (Section 5.2) for the multi-query magic
+    program: positions refer to the ``query_pred``/``answer_pred``
+    schemas of :func:`repro.ndlog.programs.multi_query_magic`."""
+
+    query_pred: str = "pathQ"
+    dst_position: int = 2
+    path_position: int = 3
+    cost_position: int = 4
+    answer_pred: str = "answer"
+    answer_path_position: int = 2
+    answer_cost_position: int = 3
+    suppress_labels: Tuple[str, ...] = ("MQ2",)
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs for a cluster run.  Defaults mirror Section 6.1."""
+
+    #: CPU time charged per delta processed at a node.  1 ms/tuple puts
+    #: convergence times in the same few-second regime as the paper's
+    #: P2 deployment.
+    cpu_delay: float = 1e-3
+    #: Link capacity (10 Mbps in the paper's Emulab setup).
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
+    #: Apply the aggregate-selections program rewrite (Section 5.1.1).
+    aggregate_selections: bool = False
+    #: Buffer outbound tuples and flush every ``buffer_interval`` seconds
+    #: with net-change elimination: the periodic aggregate-selections
+    #: scheme (Section 5.1.1 / Figures 9-10).
+    buffer_interval: Optional[float] = None
+    #: Buffer outbound tuples for ``share_delay`` seconds and merge those
+    #: with common attributes: opportunistic message sharing (Section
+    #: 5.2 / Figure 12).
+    share_delay: Optional[float] = None
+    #: Relation -> sharing description (required when share_delay set).
+    share_specs: Dict[str, ShareSpec] = field(default_factory=dict)
+    #: Query-result caching (Section 5.2 / Figure 11).
+    cache: Optional[CachePolicy] = None
+    #: Per-link message loss probability (soft-state experiments).
+    loss_rate: float = 0.0
+    #: RNG seed for loss decisions.
+    seed: int = 0
+    #: Validate the program against NDlog's constraints before compiling.
+    validate: bool = True

@@ -1,0 +1,160 @@
+"""Per-node runtime: a PSN engine embedded in the simulated network.
+
+Each node runs the localized program over its own partition of every
+relation (horizontal partitioning by location specifier, Section 2.1).
+Rule strands execute exactly as in the centralized engine; the only
+difference is head routing: a head tuple whose location specifier is a
+different address is shipped along the link (Claim 1 guarantees the
+destination is a link neighbour).
+
+Processing costs virtual CPU time: one queued delta is consumed per
+``cpu_delay`` tick, which serializes a node's work the way a single P2
+dataflow thread would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.engine.facts import Fact
+from repro.engine.psn import PSNEngine, QueuedDelta
+from repro.engine.rules import CompiledRule
+from repro.ndlog.ast import Program
+from repro.ndlog.functions import REGISTRY
+
+_SUBPATH = REGISTRY["f_subpath"]
+_CONCAT = REGISTRY["f_concatPath"]
+_LAST = REGISTRY["f_last"]
+
+
+class NodeRuntime(PSNEngine):
+    """One network node executing the localized program."""
+
+    def __init__(self, address: str, program: Program, cluster):
+        super().__init__(program, db=Database.for_program(program))
+        self.address = address
+        self.cluster = cluster
+        self._tick_scheduled = False
+        self.deltas_processed = 0
+        self.on_commit = self._commit_hook
+        #: Query-result cache: dst -> (path_suffix, cost).  Section 5.2.
+        self.result_cache: Dict[str, Tuple[Tuple, float]] = {}
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling: one delta per CPU tick
+    # ------------------------------------------------------------------
+    def _enqueue(self, delta: QueuedDelta) -> None:
+        self.queue.append(delta)
+        self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        if self._tick_scheduled or not self.queue:
+            return
+        self._tick_scheduled = True
+        self.cluster.sim.after(self.cluster.config.cpu_delay, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self.queue:
+            self.process_next()
+            self.deltas_processed += 1
+        self._schedule_tick()
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+    def receive(self, pred: str, args: Tuple, sign: int) -> None:
+        """A tuple arrived over a link: enqueue it like a local delta
+        ("a timestamp is added to each tuple at arrival", Section 3.3.2
+        -- in our commit discipline the arrival order itself is the
+        timestamp)."""
+        self.derive(Fact(pred, tuple(args)), sign)
+
+    def _emit(self, crule: CompiledRule, head: Tuple, sign: int) -> None:
+        pred = crule.head.pred
+        if crule.aggregate is not None:
+            # Aggregate rules are local rules (their inputs and output
+            # share the node), so the view output stays here.
+            view = self.views[pred]
+            for view_sign, view_args in view.apply(head, sign):
+                self.derive(Fact(pred, view_args), view_sign)
+            return
+        if crule.argmin is not None:
+            view = self.argmin_views[pred]
+            for view_sign, view_args in view.apply(head, sign):
+                self.derive(Fact(pred, view_args), view_sign)
+            return
+        destination = head[0]
+        if destination == self.address:
+            self.derive(Fact(pred, head), sign)
+        else:
+            self.cluster.ship(self.address, destination, pred, head, sign)
+
+    # ------------------------------------------------------------------
+    # Query-result caching hooks (Section 5.2)
+    # ------------------------------------------------------------------
+    def _commit_hook(self, fact: Fact, sign: int) -> None:
+        cluster = self.cluster
+        policy = cluster.config.cache
+        if policy is not None and sign > 0 and fact.pred == policy.answer_pred:
+            self._cache_answer(policy, fact.args)
+        cluster.observe_commit(self.address, fact, sign)
+
+    def _cache_answer(self, policy, args: Tuple) -> None:
+        """Install a cache entry from an answer travelling the reverse
+        path: the suffix of the answer path from this node to the
+        destination is itself an optimal path ("since the subpaths of
+        shortest paths are optimal, these can also be cached")."""
+        path = args[policy.answer_path_position]
+        if not isinstance(path, tuple) or self.address not in path:
+            return
+        suffix = _SUBPATH(path, self.address)
+        if len(suffix) < 2:
+            return
+        destination = _LAST(path)
+        cost = len(suffix) - 1  # hop-count workload (Section 6.3)
+        existing = self.result_cache.get(destination)
+        if existing is None or cost < existing[1]:
+            self.result_cache[destination] = (suffix, cost)
+
+    def _fire_strands(self, fact: Fact, sign: int) -> None:
+        policy = self.cluster.config.cache
+        suppress = ()
+        if (
+            policy is not None
+            and sign > 0
+            and fact.pred == policy.query_pred
+        ):
+            suppress = self._try_cache_hit(policy, fact)
+        for strand in self.strands.get(fact.pred, ()):
+            if suppress and strand.crule.rule.label in suppress:
+                continue
+            self._fire_strand(strand, fact, sign)
+
+    def _try_cache_hit(self, policy, fact: Fact) -> Tuple[str, ...]:
+        """On a cached destination, answer directly and stop the flood
+        ("this cached value can be reused by all queries for destination
+        d that pass through a")."""
+        args = fact.args
+        destination = args[policy.dst_position]
+        if destination == self.address:
+            return ()
+        entry = self.result_cache.get(destination)
+        if entry is None:
+            return ()
+        suffix, suffix_cost = entry
+        prefix = args[policy.path_position]
+        if any(node in prefix for node in suffix[1:]):
+            return ()  # joining would create a loop; flood normally
+        full_path = _CONCAT(prefix, suffix)
+        full_cost = args[policy.cost_position] + suffix_cost
+        qid = args[1]
+        self.cache_hits += 1
+        self.derive(
+            Fact(policy.answer_pred,
+                 (self.address, qid, full_path, full_cost)),
+            1,
+        )
+        return policy.suppress_labels

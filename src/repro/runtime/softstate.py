@@ -1,0 +1,105 @@
+"""Soft-state storage (Section 4.2).
+
+"In the soft state storage model, all data has an explicit 'time to
+live' (TTL), and facts must be explicitly reinserted with their latest
+values and a new TTL or they are deleted."
+
+The manager attaches to a node runtime, records an expiry for every
+commit into tables declared with a finite ``materialize`` lifetime, and
+sweeps them with simulator timers.  Base-tuple *refreshers* model the
+protocol side: periodic reinsertion of ground truth, which (in a
+quiescent network) restores eventual consistency even after message
+loss or reordering -- the trade-off discussed at the end of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.facts import Fact
+from repro.engine.table import INFINITY
+from repro.runtime.cluster import Cluster
+
+
+class SoftStateManager:
+    """TTL bookkeeping and expiry sweeping for one cluster."""
+
+    def __init__(self, cluster: Cluster, sweep_interval: float = 0.5):
+        self.cluster = cluster
+        self.sweep_interval = sweep_interval
+        #: (node, pred, args) -> expiry time
+        self.expiries: Dict[Tuple[str, str, Tuple], float] = {}
+        self.expired_count = 0
+        self._installed = False
+        self._lifetimes: Dict[str, float] = {
+            pred: table.lifetime
+            for pred, table in next(iter(cluster.nodes.values())).db.tables.items()
+            if table.lifetime != INFINITY
+        }
+
+    @property
+    def soft_preds(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._lifetimes))
+
+    def install(self) -> None:
+        """Hook commit observation and start the sweeper."""
+        if self._installed:
+            return
+        self._installed = True
+        for address, node in self.cluster.nodes.items():
+            original = node.on_commit
+
+            def hook(fact: Fact, sign: int, _address=address, _orig=original):
+                _orig(fact, sign)
+                self._observe(_address, fact, sign)
+
+            node.on_commit = hook
+        self.cluster.sim.after(self.sweep_interval, self._sweep)
+
+    def _observe(self, address: str, fact: Fact, sign: int) -> None:
+        lifetime = self._lifetimes.get(fact.pred)
+        if lifetime is None:
+            return
+        key = (address, fact.pred, fact.args)
+        if sign > 0:
+            self.expiries[key] = self.cluster.sim.now + lifetime
+        else:
+            self.expiries.pop(key, None)
+
+    def _sweep(self) -> None:
+        now = self.cluster.sim.now
+        expired = [key for key, when in self.expiries.items() if when <= now]
+        for key in expired:
+            address, pred, args = key
+            self.expiries.pop(key, None)
+            self.expired_count += 1
+            self.cluster.nodes[address].delete(pred, args)
+        if self.expiries or self.cluster.sim.pending:
+            self.cluster.sim.after(self.sweep_interval, self._sweep)
+
+    # ------------------------------------------------------------------
+    # Refreshers
+    # ------------------------------------------------------------------
+    def schedule_refresh(
+        self,
+        pred: str,
+        rows_by_node,
+        interval: float,
+        rounds: int,
+        start: Optional[float] = None,
+    ) -> None:
+        """Reinsert base rows every ``interval`` for ``rounds`` rounds.
+
+        ``rows_by_node`` maps node address -> iterable of arg tuples.
+        """
+        start = interval if start is None else start
+
+        def refresh():
+            for address, rows in rows_by_node.items():
+                node = self.cluster.nodes[address]
+                for args in rows:
+                    node.insert(pred, tuple(args))
+
+        for index in range(rounds):
+            self.cluster.sim.at(start + index * interval, refresh)

@@ -1,0 +1,175 @@
+"""Outbound message handling: direct sends, periodic batching with
+net-change elimination (periodic aggregate selections, Section 5.1.1),
+and opportunistic message sharing (Section 5.2).
+
+All three paths charge bytes to :class:`repro.net.stats.TrafficStats` at
+actual transmission time, so the bandwidth figures reflect what really
+crossed each link.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.message import (
+    DELTA_HEADER_BYTES,
+    Message,
+    NetDelta,
+    value_size,
+)
+from repro.runtime.config import RuntimeConfig, ShareSpec
+
+#: Buffered flush timers carry +-10% deterministic jitter so that
+#: buffers armed in the same instant do not flush in lockstep (which
+#: would synthesize bandwidth spikes no real deployment shows).
+FLUSH_JITTER = 0.10
+
+
+class Transport:
+    """Per-cluster message layer.
+
+    ``buffer_interval`` (periodic mode) batches each (src, dst) stream on
+    a fixed period and sends only the *net* change per primary key --
+    transient best-path flip-flops inside a window are suppressed, which
+    is exactly the periodic aggregate-selections saving.
+
+    ``share_delay`` (sharing mode) holds tuples briefly ("to facilitate
+    sharing, we delay each outbound tuple by 300ms") and merges buffered
+    tuples whose share key matches, charging common attributes once.
+    """
+
+    def __init__(self, cluster, config: RuntimeConfig):
+        self.cluster = cluster
+        self.config = config
+        #: (src, dst) -> list of queued NetDelta
+        self._buffers: Dict[Tuple[str, str], List[NetDelta]] = {}
+        self._flush_scheduled: Dict[Tuple[str, str], bool] = {}
+        #: (src, dst) -> pkey -> last advertised args (periodic mode)
+        self._advertised: Dict[Tuple[str, str], Dict[Tuple, Tuple]] = {}
+        self._jitter_rng = random.Random(config.seed + 4099)
+
+    def _flush_delay(self) -> float:
+        base = self.config.buffer_interval or self.config.share_delay
+        return base * self._jitter_rng.uniform(1 - FLUSH_JITTER,
+                                               1 + FLUSH_JITTER)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, pred: str, args: Tuple, sign: int) -> None:
+        delta = NetDelta(pred, tuple(args), sign)
+        delay = self.config.buffer_interval or self.config.share_delay
+        if not delay:
+            self._transmit(src, dst, (delta,))
+            return
+        key = (src, dst)
+        self._buffers.setdefault(key, []).append(delta)
+        if not self._flush_scheduled.get(key):
+            self._flush_scheduled[key] = True
+            self.cluster.sim.after(self._flush_delay(),
+                                   lambda: self._flush(key))
+
+    # ------------------------------------------------------------------
+    # Buffered modes
+    # ------------------------------------------------------------------
+    def _flush(self, key: Tuple[str, str]) -> None:
+        self._flush_scheduled[key] = False
+        deltas = self._buffers.pop(key, [])
+        if not deltas:
+            return
+        src, dst = key
+        if self.config.buffer_interval:
+            deltas = self._net_change(key, deltas)
+        if not deltas:
+            return
+        if self.config.share_delay and self.config.share_specs:
+            for message_deltas, shared in self._share_groups(deltas):
+                self._transmit(src, dst, message_deltas, shared)
+        else:
+            # One batch message; per-delta headers still paid.
+            self._transmit(src, dst, tuple(deltas))
+        # If more arrived while flushing was pending they are in a new
+        # buffer; schedule the next window.
+        if self._buffers.get(key):
+            self._flush_scheduled[key] = True
+            self.cluster.sim.after(self._flush_delay(),
+                                   lambda: self._flush(key))
+
+    def _net_change(
+        self, key: Tuple[str, str], deltas: List[NetDelta]
+    ) -> List[NetDelta]:
+        """Collapse a window to one delta per primary key: the receiver
+        only needs the final state ("a node buffers up new paths ...
+        and then propagates the new shortest paths periodically")."""
+        advertised = self._advertised.setdefault(key, {})
+        final: "OrderedDict[Tuple, NetDelta]" = OrderedDict()
+        for delta in deltas:
+            pkey = (delta.pred, self.cluster.pkey_of(delta.pred, delta.args))
+            final[pkey] = delta
+        out: List[NetDelta] = []
+        for pkey, delta in final.items():
+            last = advertised.get(pkey)
+            if delta.sign > 0:
+                if last == delta.args:
+                    continue  # receiver already has exactly this tuple
+                advertised[pkey] = delta.args
+                out.append(delta)
+            else:
+                if last is None:
+                    continue  # never advertised; nothing to retract
+                advertised.pop(pkey, None)
+                out.append(NetDelta(delta.pred, last, -1))
+        return out
+
+    def _share_groups(self, deltas: List[NetDelta]):
+        """Group buffered deltas by share key; each group becomes one
+        message whose common attributes are charged once."""
+        groups: "OrderedDict[object, List[NetDelta]]" = OrderedDict()
+        specs = self.config.share_specs
+        for delta in deltas:
+            spec = specs.get(delta.pred)
+            if spec is None:
+                groups.setdefault(("solo", len(groups)), []).append(delta)
+                continue
+            shared_fields = tuple(
+                value for index, value in enumerate(delta.args)
+                if index not in spec.value_positions
+            )
+            groups.setdefault(
+                ("share", spec.base, delta.sign, shared_fields), []
+            ).append(delta)
+        for group_key, members in groups.items():
+            if group_key[0] == "share" and len(members) > 1:
+                spec = specs[members[0].pred]
+                shared_bytes = (
+                    DELTA_HEADER_BYTES
+                    + len(spec.base)
+                    + sum(value_size(v) for v in group_key[3])
+                )
+                yield tuple(members), shared_bytes
+            else:
+                yield tuple(members), 0
+
+    # ------------------------------------------------------------------
+    # Wire
+    # ------------------------------------------------------------------
+    def _transmit(
+        self,
+        src: str,
+        dst: str,
+        deltas: Tuple[NetDelta, ...],
+        shared_bytes: int = 0,
+    ) -> None:
+        channel = self.cluster.channel(src, dst)
+        if channel is None:
+            self.cluster.stats.dropped_no_link += 1
+            return
+        message = Message(src=src, dst=dst, deltas=deltas,
+                          shared_bytes=shared_bytes)
+        self.cluster.stats.record(self.cluster.sim.now, src, message.size)
+        channel.transmit(
+            self.cluster.sim, message, self.cluster.deliver,
+            rng=self.cluster.loss_rng,
+        )

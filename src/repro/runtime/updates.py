@@ -1,0 +1,97 @@
+"""Update workload drivers for the dynamic experiments (Section 6.5).
+
+"Each update burst involves randomly selecting 10% of all links, and
+then updating the cost metric by up to 10%."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.cluster import Cluster
+
+
+@dataclass
+class BurstRecord:
+    time: float
+    updated_links: List[Tuple[str, str, float]] = field(default_factory=list)
+
+
+class LinkUpdateDriver:
+    """Applies periodic bursts of link-cost updates to a cluster.
+
+    The driver keeps its own view of current costs so successive bursts
+    compound, and it updates both directions of each (bidirectional)
+    link atomically at the two endpoints.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pred: str = "link",
+        metric: str = "random",
+        fraction: float = 0.10,
+        magnitude: float = 0.10,
+        seed: int = 1,
+    ):
+        self.cluster = cluster
+        self.pred = pred
+        self.fraction = fraction
+        self.magnitude = magnitude
+        self.rng = random.Random(seed)
+        self.costs: Dict[Tuple[str, str], float] = {
+            (a, b): metrics[metric]
+            for (a, b), metrics in cluster.overlay.links.items()
+        }
+        self.bursts: List[BurstRecord] = []
+
+    def apply_burst(self) -> BurstRecord:
+        """Update a random ``fraction`` of links by up to ``magnitude``."""
+        record = BurstRecord(time=self.cluster.sim.now)
+        links = sorted(self.costs)
+        count = max(1, int(len(links) * self.fraction))
+        for a, b in self.rng.sample(links, count):
+            old = self.costs[(a, b)]
+            delta = old * self.magnitude * self.rng.uniform(-1.0, 1.0)
+            new = max(1.0, round(old + delta, 3))
+            self.costs[(a, b)] = new
+            self.cluster.nodes[a].insert(self.pred, (a, b, new))
+            self.cluster.nodes[b].insert(self.pred, (b, a, new))
+            record.updated_links.append((a, b, new))
+        self.bursts.append(record)
+        return record
+
+    def schedule_bursts(self, times: Sequence[float]) -> None:
+        """Schedule bursts at the given virtual times."""
+        for time in times:
+            self.cluster.sim.at(time, self.apply_burst)
+
+    def schedule_periodic(
+        self, interval: float, count: int, start: Optional[float] = None
+    ) -> None:
+        start = interval if start is None else start
+        self.schedule_bursts([start + i * interval for i in range(count)])
+
+    def schedule_interleaved(
+        self,
+        intervals: Sequence[float],
+        count: int,
+        start: float,
+    ) -> None:
+        """Alternate between the given intervals (Figure 14 interleaves
+        2 s and 8 s)."""
+        time = start
+        times = []
+        for index in range(count):
+            times.append(time)
+            time += intervals[index % len(intervals)]
+        self.schedule_bursts(times)
+
+    def current_link_rows(self) -> List[Tuple[str, str, float]]:
+        rows = []
+        for (a, b), cost in sorted(self.costs.items()):
+            rows.append((a, b, cost))
+            rows.append((b, a, cost))
+        return rows

@@ -1,0 +1,27 @@
+"""Topology substrate: GT-ITM-style transit-stub underlays, overlays
+with random neighbour selection, and the neighborhood function N(X,r)."""
+
+from repro.topology.neighborhood import (
+    hop_distance,
+    hop_distances,
+    neighborhood_at,
+    neighborhood_function,
+    optimal_split,
+    search_costs,
+)
+from repro.topology.overlay import METRICS, Overlay, build_overlay
+from repro.topology.transit_stub import Underlay, transit_stub
+
+__all__ = [
+    "Underlay",
+    "transit_stub",
+    "Overlay",
+    "build_overlay",
+    "METRICS",
+    "hop_distance",
+    "hop_distances",
+    "neighborhood_at",
+    "neighborhood_function",
+    "optimal_split",
+    "search_costs",
+]

@@ -1,0 +1,108 @@
+"""The neighborhood function statistic N(X, r) -- Section 5.3.
+
+"N(X,r) is the number of distinct network nodes within r hops of node X
+... a natural generalization of the size of the transitive closure of a
+node."  It drives the cost-based hybrid rewrite: a top-down search from
+``s`` costs roughly N(s, dist(s,d)) messages, bottom-up costs
+N(d, dist(s,d)), and the optimal strategy splits the radius:
+
+    (rs, rd) = argmin_{rs + rd = dist(s,d)} N(s, rs) + N(d, rd).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.topology.overlay import Overlay
+
+
+def hop_distances(overlay: Overlay, source: str) -> Dict[str, int]:
+    """BFS hop counts from ``source`` over the overlay."""
+    adj = overlay.adjacency()
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in adj[node]:
+            if nxt not in dist:
+                dist[nxt] = dist[node] + 1
+                frontier.append(nxt)
+    return dist
+
+
+def neighborhood_function(overlay: Overlay, node: str) -> List[int]:
+    """``N(node, r)`` for r = 0..eccentricity, as a cumulative list.
+
+    ``result[r]`` counts distinct nodes within r hops (node included),
+    matching the transitive-closure generalization in the paper.
+    """
+    dist = hop_distances(overlay, node)
+    radius = max(dist.values(), default=0)
+    counts = [0] * (radius + 1)
+    for d in dist.values():
+        counts[d] += 1
+    cumulative = []
+    running = 0
+    for count in counts:
+        running += count
+        cumulative.append(running)
+    return cumulative
+
+
+def neighborhood_at(overlay: Overlay, node: str, r: int) -> int:
+    """``N(node, r)`` for one radius (clamped to the eccentricity)."""
+    n_function = neighborhood_function(overlay, node)
+    return n_function[min(r, len(n_function) - 1)]
+
+
+def hop_distance(overlay: Overlay, a: str, b: str) -> int:
+    dist = hop_distances(overlay, a)
+    if b not in dist:
+        raise ValueError(f"{b} unreachable from {a}")
+    return dist[b]
+
+
+def optimal_split(
+    overlay: Overlay, src: str, dst: str
+) -> Tuple[int, int, int]:
+    """The paper's hybrid search split.
+
+    Returns ``(rs, rd, cost)`` minimizing ``N(src, rs) + N(dst, rd)``
+    subject to ``rs + rd = dist(src, dst)``.
+    """
+    distance = hop_distance(overlay, src, dst)
+    n_src = neighborhood_function(overlay, src)
+    n_dst = neighborhood_function(overlay, dst)
+
+    def at(nf: List[int], r: int) -> int:
+        return nf[min(r, len(nf) - 1)]
+
+    best = None
+    for rs in range(distance + 1):
+        rd = distance - rs
+        cost = at(n_src, rs) + at(n_dst, rd)
+        if best is None or cost < best[2]:
+            best = (rs, rd, cost)
+    return best
+
+
+def search_costs(overlay: Overlay, src: str, dst: str) -> Dict[str, int]:
+    """Message-cost estimates for the three strategies of Section 5.3:
+    pure top-down (flood from src), pure bottom-up (flood from dst), and
+    the optimal hybrid split.  'Each node only forwards the query message
+    once', so cost = nodes reached."""
+    distance = hop_distance(overlay, src, dst)
+    n_src = neighborhood_function(overlay, src)
+    n_dst = neighborhood_function(overlay, dst)
+
+    def at(nf, r):
+        return nf[min(r, len(nf) - 1)]
+
+    _rs, _rd, hybrid = optimal_split(overlay, src, dst)
+    return {
+        "dist": distance,
+        "td": at(n_src, distance),
+        "bu": at(n_dst, distance),
+        "hybrid": hybrid,
+    }

@@ -1,0 +1,141 @@
+"""Incremental aggregate maintenance tests (Sections 3.3.2 and 4)."""
+
+import pytest
+
+from repro.engine.aggregates import AggregateView, GroupState
+from repro.engine.rules import AggregateInfo
+from repro.errors import EvaluationError
+
+
+def make_view(func="min"):
+    # spCost(@S, @D, min<C>): group = (S, D) at positions (0, 1),
+    # value at position 2.
+    info = AggregateInfo(func=func, var="C", value_position=2,
+                         group_positions=(0, 1))
+    return AggregateView("spCost", info)
+
+
+class TestGroupState:
+    def test_min_incremental(self):
+        g = GroupState("min")
+        g.add(5)
+        assert g.current() == 5
+        g.add(3)
+        assert g.current() == 3
+        g.add(7)
+        assert g.current() == 3
+
+    def test_min_retraction_recomputes(self):
+        g = GroupState("min")
+        for v in (5, 3, 7):
+            g.add(v)
+        g.remove(3)
+        assert g.current() == 5
+        g.remove(5)
+        assert g.current() == 7
+        g.remove(7)
+        assert g.current() is None
+
+    def test_max(self):
+        g = GroupState("max")
+        for v in (5, 3, 7):
+            g.add(v)
+        assert g.current() == 7
+        g.remove(7)
+        assert g.current() == 5
+
+    def test_count_counts_derivations(self):
+        g = GroupState("count")
+        g.add(1)
+        g.add(1)
+        g.add(1)
+        assert g.current() == 3
+        g.remove(1)
+        assert g.current() == 2
+
+    def test_sum_over_distinct_values(self):
+        g = GroupState("sum")
+        g.add(2)
+        g.add(2)  # duplicate derivation of the same value
+        g.add(3)
+        assert g.current() == 5
+        g.remove(2)  # one derivation remains, value still present
+        assert g.current() == 5
+        g.remove(2)
+        assert g.current() == 3
+
+    def test_avg(self):
+        g = GroupState("avg")
+        g.add(2)
+        g.add(4)
+        assert g.current() == 3
+
+    def test_remove_unknown_value_raises(self):
+        g = GroupState("min")
+        with pytest.raises(EvaluationError):
+            g.remove(99)
+
+    def test_unknown_func_raises(self):
+        g = GroupState("median")
+        g.add(1)
+        with pytest.raises(EvaluationError):
+            g.current()
+
+
+class TestAggregateView:
+    def test_first_contribution_emits_insert(self):
+        view = make_view()
+        deltas = view.apply(("a", "b", 5), 1)
+        assert deltas == [(1, ("a", "b", 5))]
+
+    def test_improvement_replaces(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        deltas = view.apply(("a", "b", 2), 1)
+        assert deltas == [(-1, ("a", "b", 5)), (1, ("a", "b", 2))]
+
+    def test_non_improvement_is_silent(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        assert view.apply(("a", "b", 9), 1) == []
+
+    def test_retracting_best_falls_back(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        view.apply(("a", "b", 2), 1)
+        deltas = view.apply(("a", "b", 2), -1)
+        assert deltas == [(-1, ("a", "b", 2)), (1, ("a", "b", 5))]
+
+    def test_retracting_last_value_deletes_group(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        deltas = view.apply(("a", "b", 5), -1)
+        assert deltas == [(-1, ("a", "b", 5))]
+        assert view.groups == {}
+
+    def test_groups_are_independent(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        deltas = view.apply(("a", "c", 9), 1)
+        assert deltas == [(1, ("a", "c", 9))]
+
+    def test_duplicate_value_needs_two_retractions(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        view.apply(("a", "b", 5), 1)
+        assert view.apply(("a", "b", 5), -1) == []
+        assert view.apply(("a", "b", 5), -1) == [(-1, ("a", "b", 5))]
+
+    def test_current_rows(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        view.apply(("a", "c", 3), 1)
+        assert sorted(view.current_rows()) == [("a", "b", 5), ("a", "c", 3)]
+
+    def test_value_position_not_last(self):
+        # bestFirst(min<C>, @S): aggregate in position 0.
+        info = AggregateInfo(func="min", var="C", value_position=0,
+                             group_positions=(1,))
+        view = AggregateView("bestFirst", info)
+        assert view.apply((5, "a"), 1) == [(1, (5, "a"))]
+        assert view.apply((3, "a"), 1) == [(-1, (5, "a")), (1, (3, "a"))]

@@ -1,0 +1,203 @@
+"""Cross-engine correctness: naive, semi-naive (Algorithm 1), BSN, and
+PSN (Algorithm 3) must compute identical fixpoints (Theorem 1), and the
+delta-based engines must not repeat inferences (Theorem 2)."""
+
+import random
+
+import pytest
+
+from repro.engine import Database, bsn, naive, psn, seminaive
+from repro.engine.bsn import BSNEngine
+from repro.engine.psn import PSNEngine
+from repro.errors import EvaluationError, PlanError
+from repro.ndlog import parse
+from repro.ndlog.programs import (
+    shortest_path,
+    shortest_path_safe,
+    transitive_closure,
+    transitive_closure_nonlinear,
+)
+
+ENGINES = (naive, seminaive, bsn, psn)
+
+#: Figure 2's example network (bidirectional).
+FIGURE2_LINKS = [
+    ("a", "b", 5), ("b", "a", 5),
+    ("a", "c", 1), ("c", "a", 1),
+    ("c", "b", 1), ("b", "c", 1),
+    ("b", "d", 1), ("d", "b", 1),
+    ("e", "a", 1), ("a", "e", 1),
+]
+
+
+def run(module, program, loads):
+    db = Database.for_program(program)
+    for pred, rows in loads.items():
+        db.load_facts(pred, rows)
+    return module.evaluate(program, db)
+
+
+@pytest.mark.parametrize("module", ENGINES)
+def test_shortest_path_on_figure2(module):
+    result = run(module, shortest_path_safe(), {"link": FIGURE2_LINKS})
+    sp = result.rows("shortestPath")
+    # From Section 2.2: node a's shortest path to b improves from
+    # [a,b] cost 5 to [a,c,b] cost 2.
+    assert ("a", "b", ("a", "c", "b"), 2) in sp
+    # Path-vector examples from Figure 2.
+    assert ("e", "b", ("e", "a", "c", "b"), 3) in sp
+    assert ("c", "d", ("c", "b", "d"), 2) in sp
+    # All 5*4 ordered pairs are connected.
+    assert len({(s, d) for s, d, _p, _c in sp}) == 20
+
+
+@pytest.mark.parametrize("module", ENGINES)
+def test_transitive_closure_matches_reference(module):
+    random.seed(11)
+    edges = {(f"n{random.randrange(9)}", f"n{random.randrange(9)}")
+             for _ in range(16)}
+    edges = {(a, b) for a, b in edges if a != b}
+    result = run(module, transitive_closure(), {"edge": edges})
+
+    # Reference closure via simple BFS.
+    adjacency = {}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+    expected = set()
+    for start in {a for a, _ in edges}:
+        frontier = [start]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        expected |= {(start, node) for node in seen}
+    assert result.rows("tc") == frozenset(expected)
+
+
+def test_all_engines_agree_on_random_graphs():
+    random.seed(3)
+    for _trial in range(8):
+        edges = {(f"n{random.randrange(7)}", f"n{random.randrange(7)}")
+                 for _ in range(12)}
+        baselines = {}
+        for builder in (transitive_closure, transitive_closure_nonlinear):
+            outputs = set()
+            for module in ENGINES:
+                result = run(module, builder(), {"edge": edges})
+                outputs.add(result.rows("tc"))
+            assert len(outputs) == 1
+            baselines[builder.__name__] = outputs.pop()
+        # Linear and non-linear TC agree with each other too.
+        assert (baselines["transitive_closure"]
+                == baselines["transitive_closure_nonlinear"])
+
+
+def test_theorem2_no_repeated_inferences():
+    """SN is inference-optimal; PSN and BSN must match it exactly
+    (Theorem 2), including on non-linear rules (self-joins)."""
+    random.seed(5)
+    for _trial in range(6):
+        edges = {(f"n{random.randrange(8)}", f"n{random.randrange(8)}")
+                 for _ in range(14)}
+        for builder in (transitive_closure, transitive_closure_nonlinear):
+            counts = {}
+            for module in (seminaive, bsn, psn):
+                result = run(module, builder(), {"edge": edges})
+                counts[module.__name__] = result.inferences
+            assert len(set(counts.values())) == 1, counts
+
+
+def test_naive_does_repeat_inferences():
+    """Sanity check on the baseline: naive evaluation re-derives facts
+    every iteration, so its inference count exceeds semi-naive's."""
+    edges = [(f"n{i}", f"n{i+1}") for i in range(6)]
+    naive_result = run(naive, transitive_closure(), {"edge": edges})
+    sn_result = run(seminaive, transitive_closure(), {"edge": edges})
+    assert naive_result.inferences > sn_result.inferences
+    assert naive_result.rows("tc") == sn_result.rows("tc")
+
+
+def test_figure1_program_diverges_on_cycles_without_pruning():
+    """Section 2: 'In the presence of path cycles, the query never
+    terminates' -- the literal Figure 1 program must hit the iteration
+    guard on a cyclic graph when no aggregate-selection pruning is on."""
+    program = shortest_path()
+    db = Database.for_program(program)
+    db.load_facts("link", [("a", "b", 1), ("b", "a", 1)])
+    with pytest.raises(EvaluationError):
+        seminaive.evaluate(program, db, max_iterations=50)
+
+
+def test_safe_program_terminates_on_cycles():
+    result = run(seminaive, shortest_path_safe(),
+                 {"link": [("a", "b", 1), ("b", "a", 1)]})
+    assert ("a", "b", ("a", "b"), 1) in result.rows("shortestPath")
+
+
+def test_bsn_random_batching_matches_fixpoint():
+    """BSN may buffer arbitrarily (Section 3.3.1): any batching schedule
+    must reach the same fixpoint."""
+    random.seed(9)
+    edges = {(f"n{random.randrange(8)}", f"n{random.randrange(8)}")
+             for _ in range(14)}
+    reference = run(seminaive, transitive_closure(), {"edge": edges})
+
+    rng = random.Random(1234)
+    for _trial in range(5):
+        program = transitive_closure()
+        db = Database.for_program(program)
+        db.load_facts("edge", edges)
+        engine = BSNEngine(program, db=db,
+                           scheduler=lambda n: rng.randint(1, max(1, n)))
+        result = engine.fixpoint()
+        assert result.rows("tc") == reference.rows("tc")
+
+
+def test_psn_incremental_insert_equals_batch():
+    """PSN processes tuples as they arrive: inserting base facts one at a
+    time (running to quiescence in between) must equal batch loading."""
+    edges = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("b", "d")]
+    program = transitive_closure()
+    engine = PSNEngine(program)
+    for edge in edges:
+        engine.insert("edge", edge)
+        engine.run()
+    batch = run(psn, transitive_closure(), {"edge": edges})
+    assert frozenset(engine.db.table("tc").rows()) == batch.rows("tc")
+
+
+def test_recursive_aggregate_rejected_by_set_engines():
+    program = parse(
+        """
+        R1: best(@S, min<C>) :- e(@S, C).
+        R2: e(@S, C) :- best(@S, C1), C := C1 + 1.
+        """
+    )
+    with pytest.raises(PlanError):
+        seminaive.evaluate(program, Database.for_program(program))
+
+
+def test_iteration_counts_reported():
+    edges = [(f"n{i}", f"n{i+1}") for i in range(5)]
+    result = run(seminaive, transitive_closure(), {"edge": edges})
+    # Longest chain has 5 hops -> about that many delta iterations.
+    assert result.iterations >= 4
+
+
+def test_facts_in_program_text_are_loaded():
+    program = parse(
+        """
+        edge(a, b).
+        edge(b, c).
+        T1: tc(X, Y) :- edge(X, Y).
+        T2: tc(X, Z) :- edge(X, Y), tc(Y, Z).
+        """
+    )
+    for module in ENGINES:
+        result = module.evaluate(program, Database.for_program(program))
+        assert result.rows("tc") == frozenset(
+            {("a", "b"), ("b", "c"), ("a", "c")}
+        )

@@ -1,0 +1,107 @@
+"""Builtin ``f_*`` function tests, including the three f_concatPath usages
+from the paper's rules SP1, SP2 and SP2-SD."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ndlog.functions import REGISTRY, default_functions, node_sequence
+from repro.ndlog.terms import ConstructedTuple
+
+F = REGISTRY
+
+
+def link(s, d, c=1):
+    return ConstructedTuple("link", (s, d, c))
+
+
+class TestConcatPath:
+    def test_sp1_link_with_nil(self):
+        # P = f_concatPath(link(@S,@D,C), nil)  ->  [S, D]
+        assert F["f_concatPath"](link("a", "b"), ()) == ("a", "b")
+
+    def test_sp2_link_prepended_to_path(self):
+        # P = f_concatPath(link(@S,@Z,C1), P2) with P2 starting at Z.
+        assert F["f_concatPath"](link("a", "b"), ("b", "d")) == ("a", "b", "d")
+
+    def test_sp2sd_path_extended_by_link(self):
+        # P = f_concatPath(P1, link(@Z,@D,C2)) with P1 ending at Z.
+        assert F["f_concatPath"](("s", "z"), link("z", "d")) == ("s", "z", "d")
+
+    def test_no_shared_junction_plain_concat(self):
+        assert F["f_concatPath"](("a", "b"), ("c", "d")) == ("a", "b", "c", "d")
+
+    def test_two_links(self):
+        assert F["f_concatPath"](link("a", "b"), link("b", "c")) == ("a", "b", "c")
+
+    def test_scalar_items(self):
+        assert F["f_concatPath"]("a", ("a", "b")) == ("a", "b")
+
+    def test_link_needs_two_fields(self):
+        with pytest.raises(EvaluationError):
+            F["f_concatPath"](ConstructedTuple("x", ("a",)), ())
+
+
+class TestListBuiltins:
+    def test_member(self):
+        assert F["f_member"](("a", "b"), "a") == 1
+        assert F["f_member"](("a", "b"), "z") == 0
+
+    def test_member_requires_list(self):
+        with pytest.raises(EvaluationError):
+            F["f_member"]("ab", "a")
+
+    def test_size(self):
+        assert F["f_size"](()) == 0
+        assert F["f_size"](("a", "b", "c")) == 3
+
+    def test_first_last(self):
+        assert F["f_first"](("a", "b")) == "a"
+        assert F["f_last"](("a", "b")) == "b"
+
+    def test_first_of_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            F["f_first"](())
+
+    def test_init_append_prepend(self):
+        assert F["f_init"]("a") == ("a",)
+        assert F["f_append"](("a",), "b") == ("a", "b")
+        assert F["f_prepend"]("a", ("b",)) == ("a", "b")
+
+    def test_reverse(self):
+        assert F["f_reverse"](("a", "b", "c")) == ("c", "b", "a")
+
+    def test_prevhop(self):
+        # Reverse-path routing of answer tuples (Section 5.2).
+        assert F["f_prevhop"](("a", "b", "c"), "c") == "b"
+        assert F["f_prevhop"](("a", "b", "c"), "a") == "a"
+
+    def test_prevhop_off_path_raises(self):
+        with pytest.raises(EvaluationError):
+            F["f_prevhop"](("a", "b"), "z")
+
+    def test_subpath(self):
+        # "the subpaths of shortest paths are optimal" -- cached values.
+        assert F["f_subpath"](("a", "b", "c"), "b") == ("b", "c")
+        assert F["f_subpath"](("a", "b", "c"), "a") == ("a", "b", "c")
+
+    def test_min_max(self):
+        assert F["f_min"](3, 5) == 3
+        assert F["f_max"](3, 5) == 5
+
+
+class TestRegistry:
+    def test_default_functions_is_copy(self):
+        funcs = default_functions()
+        funcs["f_bogus"] = lambda: None
+        assert "f_bogus" not in REGISTRY
+
+    def test_register_requires_f_prefix(self):
+        from repro.ndlog.functions import register
+
+        with pytest.raises(ValueError):
+            register("not_prefixed")
+
+    def test_node_sequence_forms(self):
+        assert node_sequence(("a", "b")) == ("a", "b")
+        assert node_sequence(link("a", "b")) == ("a", "b")
+        assert node_sequence("a") == ("a",)

@@ -1,0 +1,92 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import NDlogSyntaxError
+from repro.ndlog import lexer
+
+
+def kinds(source):
+    return [t.kind for t in lexer.tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in lexer.tokenize(source)][:-1]
+
+
+def test_simple_rule_tokens():
+    toks = values("p(@S, D) :- q(@S, D).")
+    assert toks == ["p", "(", "@", "S", ",", "D", ")", ":-",
+                    "q", "(", "@", "S", ",", "D", ")", "."]
+
+
+def test_ident_vs_variable():
+    assert kinds("path Path _x") == [lexer.IDENT, lexer.VARIABLE, lexer.IDENT]
+
+
+def test_numbers_int_and_float():
+    toks = lexer.tokenize("42 3.14 0.5")
+    assert [t.value for t in toks[:-1]] == ["42", "3.14", "0.5"]
+    assert all(t.kind == lexer.NUMBER for t in toks[:-1])
+
+
+def test_number_then_period_is_statement_end():
+    toks = values("p(1).")
+    assert toks == ["p", "(", "1", ")", "."]
+
+
+def test_multi_char_operators_are_greedy():
+    assert values("a := b == c != d <= e >= f") == [
+        "a", ":=", "b", "==", "c", "!=", "d", "<=", "e", ">=", "f"
+    ]
+
+
+def test_rule_arrow_not_split():
+    assert ":-" in values("p(@X) :- q(@X).")
+
+
+def test_line_comments():
+    assert values("p(a). // comment\nq(b). % other\n") == [
+        "p", "(", "a", ")", ".", "q", "(", "b", ")", "."
+    ]
+
+
+def test_block_comment():
+    assert values("p(/* hi \n there */ a).") == ["p", "(", "a", ")", "."]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(NDlogSyntaxError):
+        lexer.tokenize("p(a). /* nope")
+
+
+def test_string_literals_with_escapes():
+    toks = lexer.tokenize(r'"hi\n" "a\"b"')
+    assert toks[0].value == "hi\n"
+    assert toks[1].value == 'a"b'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(NDlogSyntaxError):
+        lexer.tokenize('"oops')
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(NDlogSyntaxError) as err:
+        lexer.tokenize("p(a) ^ q(b)")
+    assert "line 1" in str(err.value)
+
+
+def test_line_and_column_tracking():
+    toks = lexer.tokenize("p(a).\nq(b).")
+    q_tok = [t for t in toks if t.value == "q"][0]
+    assert q_tok.line == 2
+    assert q_tok.column == 1
+
+
+def test_hash_and_at_tokens():
+    assert values("#link(@S)") == ["#", "link", "(", "@", "S", ")"]
+
+
+def test_aggregate_angle_brackets():
+    assert values("min<C>") == ["min", "<", "C", ">"]

@@ -1,0 +1,147 @@
+"""Magic-sets rewriting tests (Section 5.1.2)."""
+
+import random
+
+import pytest
+
+from repro.engine import Database, psn, seminaive
+from repro.errors import PlanError
+from repro.ndlog import make_literal, parse
+from repro.ndlog.ast import Literal
+from repro.ndlog.programs import same_generation, transitive_closure
+from repro.ndlog.terms import Constant, Variable
+from repro.planner.magic import adornment_of, magic_rewrite
+
+
+def bound_query(pred, *args):
+    return make_literal(pred, *args)
+
+
+def run_program(program, loads, query_pred):
+    db = Database.for_program(program)
+    for pred, rows in loads.items():
+        db.load_facts(pred, rows)
+    return seminaive.evaluate(program, db).rows(query_pred)
+
+
+def test_adornment_patterns():
+    lit = Literal("p", (Constant("a"), Variable("X"), Variable("Y")))
+    assert adornment_of(lit, set()) == "bff"
+    assert adornment_of(lit, {"X"}) == "bbf"
+
+
+def test_tc_bound_source():
+    """tc(a, Y)?: only facts reachable from 'a' should be computed."""
+    edges = [("a", "b"), ("b", "c"), ("x", "y"), ("y", "z")]
+    program = transitive_closure()
+    query = bound_query("tc", "a", "Y")
+    rewritten = magic_rewrite(program, query)
+
+    full = run_program(program, {"edge": edges}, "tc")
+    magic = run_program(rewritten, {"edge": edges}, "tc")
+
+    expected = {t for t in full if t[0] == "a"}
+    assert magic == frozenset(expected)
+
+
+def test_tc_magic_avoids_irrelevant_work():
+    """The whole point: the rewritten program derives fewer tuples."""
+    random.seed(4)
+    edges = [(f"n{random.randrange(20)}", f"n{random.randrange(20)}")
+             for _ in range(40)]
+    program = transitive_closure()
+    query = bound_query("tc", "n0", "Y")
+    rewritten = magic_rewrite(program, query)
+
+    db_full = Database.for_program(program)
+    db_full.load_facts("edge", edges)
+    full = seminaive.evaluate(program, db_full)
+
+    db_magic = Database.for_program(rewritten)
+    db_magic.load_facts("edge", edges)
+    magic = seminaive.evaluate(rewritten, db_magic)
+
+    assert magic.inferences <= full.inferences
+    expected = {t for t in full.rows("tc") if t[0] == "n0"}
+    assert magic.rows("tc") == frozenset(expected)
+
+
+def test_same_generation_bound_first():
+    """The classic magic-sets example program."""
+    parents = [("b1", "p1"), ("b2", "p1"), ("c1", "b1"), ("c2", "b2"),
+               ("d1", "c1"), ("other", "elsewhere")]
+    people = [(x,) for x in
+              {a for a, b in parents} | {b for a, b in parents}]
+    program = same_generation()
+    query = bound_query("sg", "c1", "Y")
+    rewritten = magic_rewrite(program, query)
+
+    loads = {"parent": parents, "person": people}
+    full = run_program(program, loads, "sg")
+    magic = run_program(rewritten, loads, "sg")
+    expected = {t for t in full if t[0] == "c1"}
+    assert magic == frozenset(expected)
+    assert ("c1", "c2") in magic  # same generation via p1
+
+
+def test_fully_free_query_returns_original():
+    program = transitive_closure()
+    query = Literal("tc", (Variable("X"), Variable("Y")))
+    assert magic_rewrite(program, query) is program
+
+
+def test_query_must_be_idb():
+    program = transitive_closure()
+    with pytest.raises(PlanError):
+        magic_rewrite(program, bound_query("edge", "a", "Y"))
+
+
+def test_both_bound_query():
+    edges = [("a", "b"), ("b", "c"), ("c", "d")]
+    program = transitive_closure()
+    query = bound_query("tc", "a", "d")
+    rewritten = magic_rewrite(program, query)
+    magic = run_program(rewritten, {"edge": edges}, "tc")
+    # Left-to-right SIP binds only the first argument through the
+    # recursion, so answers are reachable-from-a facts filtered... the
+    # bridging rule restores only matching tuples is NOT applied here:
+    # the adorned program computes tc_bb; we check the query answer
+    # itself is derivable.
+    assert ("a", "d") in magic
+
+
+def test_nonlinear_tc_magic():
+    edges = [("a", "b"), ("b", "c"), ("c", "d"), ("p", "q")]
+    program = parse(
+        """
+        T1: tc(X, Y) :- edge(X, Y).
+        T2: tc(X, Z) :- tc(X, Y), tc(Y, Z).
+        Query: tc(X, Y).
+        """
+    )
+    query = bound_query("tc", "a", "Y")
+    rewritten = magic_rewrite(program, query)
+    magic = run_program(rewritten, {"edge": edges}, "tc")
+    assert {t for t in magic if t[0] == "a"} == {
+        ("a", "b"), ("a", "c"), ("a", "d")
+    }
+
+
+def test_psn_agrees_with_seminaive_on_magic_program():
+    edges = [("a", "b"), ("b", "c"), ("x", "y")]
+    program = transitive_closure()
+    rewritten = magic_rewrite(program, bound_query("tc", "a", "Y"))
+    db1 = Database.for_program(rewritten)
+    db1.load_facts("edge", edges)
+    db2 = Database.for_program(rewritten)
+    db2.load_facts("edge", edges)
+    assert (seminaive.evaluate(rewritten, db1).rows("tc")
+            == psn.evaluate(rewritten, db2).rows("tc"))
+
+
+def test_magic_seed_fact_present():
+    program = transitive_closure()
+    rewritten = magic_rewrite(program, bound_query("tc", "a", "Y"))
+    seeds = [f for f in rewritten.facts if f.pred.startswith("magic_")]
+    assert len(seeds) == 1
+    assert seeds[0].args == (Constant("a"),)

@@ -1,0 +1,221 @@
+"""Parser tests: surface syntax -> AST."""
+
+import pytest
+
+from repro.errors import NDlogSyntaxError
+from repro.ndlog import parse, parse_rule
+from repro.ndlog.ast import Assignment, Condition, Literal, Materialization
+from repro.ndlog.terms import (
+    AggregateSpec,
+    BinOp,
+    Constant,
+    FuncCall,
+    NIL,
+    TupleTerm,
+    Variable,
+)
+
+
+def test_parse_simple_rule():
+    rule = parse_rule("p(@S, D) :- q(@S, D).")
+    assert rule.head.pred == "p"
+    assert rule.head.args == (Variable("S", location=True), Variable("D"))
+    assert len(rule.body) == 1
+    assert rule.body[0].pred == "q"
+
+
+def test_location_marker_recorded():
+    rule = parse_rule("p(@S) :- q(@S).")
+    assert rule.head.args[0].location is True
+
+
+def test_address_constant():
+    program = parse("p(@n1, 5).")
+    fact = program.facts[0]
+    assert fact.args[0] == Constant("n1", location=True)
+    assert fact.args[0].location is True
+
+
+def test_link_literal_marker():
+    rule = parse_rule("p(@S, D) :- #link(@S, D, C).")
+    assert rule.body[0].link_literal is True
+    assert rule.head.link_literal is False
+
+
+def test_rule_label():
+    rule = parse_rule("SP1: p(@S) :- q(@S).")
+    assert rule.label == "SP1"
+
+
+def test_query_statement():
+    program = parse("Query: shortestPath(@S, @D, P, C).")
+    assert program.query is not None
+    assert program.query.pred == "shortestPath"
+    assert program.rules == []
+
+
+def test_fact_statement():
+    program = parse("link(@a, @b, 5).")
+    assert len(program.facts) == 1
+    assert program.facts[0].args[2] == Constant(5)
+
+
+def test_assignment_with_walrus_and_equals():
+    rule = parse_rule("p(@S, C) :- q(@S, C1), C := C1 + 1.")
+    assign = rule.body[1]
+    assert isinstance(assign, Assignment)
+    assert assign.var == Variable("C")
+    assert isinstance(assign.expr, BinOp) and assign.expr.op == "+"
+
+    rule2 = parse_rule("p(@S, C) :- q(@S, C1), C = C1 + 1.")
+    assert isinstance(rule2.body[1], Assignment)
+
+
+def test_equality_condition_is_not_assignment():
+    rule = parse_rule("p(@S) :- q(@S, C), C == 5.")
+    cond = rule.body[1]
+    assert isinstance(cond, Condition)
+    assert cond.expr.op == "=="
+
+
+def test_function_call_term():
+    rule = parse_rule(
+        "p(@S, P) :- q(@S, P2), P := f_concatPath(link(@S, @S, 1), P2)."
+    )
+    expr = rule.body[1].expr
+    assert isinstance(expr, FuncCall)
+    assert expr.name == "f_concatPath"
+    assert isinstance(expr.args[0], TupleTerm)
+    assert expr.args[0].pred == "link"
+
+
+def test_nil_parses_to_empty_tuple():
+    rule = parse_rule("p(@S, P) :- q(@S), P := nil.")
+    assert rule.body[1].expr == Constant(NIL)
+
+
+def test_aggregate_in_head():
+    rule = parse_rule("spCost(@S, @D, min<C>) :- path(@S, @D, C).")
+    agg = rule.head.args[2]
+    assert agg == AggregateSpec("min", "C")
+
+
+def test_count_star_aggregate():
+    rule = parse_rule("n(@S, count<*>) :- q(@S, X).")
+    assert rule.head.args[1] == AggregateSpec("count", "")
+
+
+def test_aggregate_in_body_is_rejected_by_parser_context():
+    # Aggregates only parse in head positions; in a body they would be a
+    # comparison expression, which here is a syntax error (dangling '>').
+    with pytest.raises(NDlogSyntaxError):
+        parse_rule("p(@S) :- q(@S, min<C>).")
+
+
+def test_materialize_full_form():
+    program = parse("materialize(link, infinity, infinity, keys(1, 2)).")
+    mat = program.materializations["link"]
+    assert mat == Materialization("link", float("inf"), float("inf"), (1, 2))
+    assert mat.key_indexes() == (0, 1)
+
+
+def test_materialize_with_lifetime():
+    program = parse("materialize(cache, 120, 100, keys(1)).")
+    mat = program.materializations["cache"]
+    assert mat.lifetime == 120.0
+    assert mat.max_size == 100.0
+
+
+def test_materialize_short_form():
+    program = parse("materialize(path, keys(1, 2, 3)).")
+    assert program.materializations["path"].keys == (1, 2, 3)
+
+
+def test_comparison_operators():
+    for op in ("==", "!=", "<", "<=", ">", ">="):
+        rule = parse_rule(f"p(@S) :- q(@S, C), C {op} 3.")
+        assert rule.body[1].expr.op == op
+
+
+def test_operator_precedence():
+    rule = parse_rule("p(@S, C) :- q(@S, A, B), C := A + B * 2.")
+    expr = rule.body[1].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parenthesised_expression():
+    rule = parse_rule("p(@S, C) :- q(@S, A, B), C := (A + B) * 2.")
+    expr = rule.body[1].expr
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_negative_number_unary():
+    rule = parse_rule("p(@S, C) :- q(@S, A), C := -A.")
+    assert rule.body[1].expr.op == "-"
+
+
+def test_list_literal():
+    program = parse("p(@a, [1, 2, 3]).")
+    assert program.facts[0].args[1] == Constant((1, 2, 3))
+
+
+def test_string_constant():
+    program = parse('p(@a, "hello world").')
+    assert program.facts[0].args[1] == Constant("hello world")
+
+
+def test_missing_period_raises():
+    with pytest.raises(NDlogSyntaxError):
+        parse("p(@S) :- q(@S)")
+
+
+def test_multiple_rules_and_labels():
+    program = parse(
+        """
+        R1: p(@S, D) :- q(@S, D).
+        R2: p(@S, D) :- q(@S, Z), p(@Z, D).
+        Query: p(@S, D).
+        """
+    )
+    assert [r.label for r in program.rules] == ["R1", "R2"]
+    assert program.query.pred == "p"
+
+
+def test_predicate_arity_map():
+    program = parse("p(@S, D) :- q(@S, D).")
+    assert program.predicates() == {"p": 2, "q": 2}
+
+
+def test_idb_edb_split():
+    program = parse("p(@S, D) :- q(@S, D).\nq(@a, b).")
+    assert program.idb_predicates() == {"p"}
+    assert "q" in program.edb_predicates()
+
+
+def test_rename_predicates_suffix():
+    program = parse("p(@S, D) :- q(@S, D).\nQuery: p(@S, D).")
+    renamed = program.rename_predicates("_x")
+    assert renamed.rules[0].head.pred == "p_x"
+    assert renamed.rules[0].body[0].pred == "q_x"
+    assert renamed.query.pred == "p_x"
+    # original untouched
+    assert program.rules[0].head.pred == "p"
+
+
+def test_rename_predicates_mapping():
+    program = parse("p(@S) :- q(@S).")
+    renamed = program.rename_predicates({"q": "r"})
+    assert renamed.rules[0].body[0].pred == "r"
+    assert renamed.rules[0].head.pred == "p"
+
+
+def test_negated_literal_parses():
+    rule = parse_rule("p(@S) :- q(@S), !r(@S).")
+    assert rule.body[1].negated is True
+
+
+def test_parse_rule_rejects_multiple():
+    with pytest.raises(NDlogSyntaxError):
+        parse_rule("p(@S) :- q(@S). r(@S) :- q(@S).")

@@ -1,0 +1,203 @@
+"""Planner rewrites: aggregate selections, predicate reordering, and the
+textual semi-naive delta rewrite."""
+
+import pytest
+
+from repro.engine import Database, psn, seminaive
+from repro.errors import PlanError
+from repro.ndlog import parse, parse_rule
+from repro.ndlog.programs import (
+    multi_query_magic,
+    shortest_path,
+    shortest_path_safe,
+)
+from repro.opt import aggsel
+from repro.planner.reorder import (
+    reorder_body,
+    reorder_program,
+    swap_recursive_to_left,
+    swap_recursive_to_right,
+)
+from repro.planner.seminaive_rewrite import delta_rules_for, seminaive_rewrite
+
+FIGURE2_LINKS = [
+    ("a", "b", 5), ("b", "a", 5),
+    ("a", "c", 1), ("c", "a", 1),
+    ("c", "b", 1), ("b", "c", 1),
+    ("b", "d", 1), ("d", "b", 1),
+    ("e", "a", 1), ("a", "e", 1),
+]
+
+
+class TestAggregateSelections:
+    def test_detects_spcost_over_path(self):
+        specs = aggsel.detect(shortest_path())
+        assert len(specs) == 1
+        spec = specs[0]
+        assert spec.pred == "path"
+        assert spec.func == "min"
+        # Group = (location, destination); value = the cost field.
+        assert spec.group_positions == (0, 1)
+        assert spec.value_position == 4
+
+    def test_detects_pathq_group_with_location_first(self):
+        """For the multi-query program the group must be (location,
+        query-id) even though MQ3 only aggregates at the destination --
+        first-occurrence mapping puts the tuple's own location in the
+        group, enabling per-node pruning."""
+        specs = aggsel.detect(multi_query_magic())
+        by_pred = {s.pred: s for s in specs}
+        assert "pathQ" in by_pred
+        assert by_pred["pathQ"].group_positions == (0, 1)
+
+    def test_rewrite_redirects_recursion_only(self):
+        rewritten = aggsel.rewrite(shortest_path())
+        by_label = {r.label: r for r in rewritten.rules}
+        # SP2 (defines path) now reads the pruned view...
+        assert any(lit.pred == "path__best"
+                   for lit in by_label["SP2"].body_literals)
+        # ...but SP3/SP4 still read the raw relation.
+        assert all(lit.pred != "path__best"
+                   for lit in by_label["SP3"].body_literals)
+        assert all(lit.pred != "path__best"
+                   for lit in by_label["SP4"].body_literals)
+
+    def test_best_view_is_keyed_on_group(self):
+        rewritten = aggsel.rewrite(shortest_path())
+        mat = rewritten.materializations["path__best"]
+        assert mat.key_indexes() == (0, 1)
+
+    def test_terminates_on_cycles_and_costs_match(self):
+        """Section 5.1.1: aggregate selections make the Figure 1 program
+        terminate even with cyclic paths."""
+        rewritten = aggsel.rewrite(shortest_path())
+        db = Database.for_program(rewritten)
+        db.load_facts("link", FIGURE2_LINKS)
+        result = psn.evaluate(rewritten, db)
+        got = {(s, d): c for s, d, _p, c in result.rows("shortestPath")
+               if s != d}
+
+        reference = shortest_path_safe()
+        db2 = Database.for_program(reference)
+        db2.load_facts("link", FIGURE2_LINKS)
+        ref = psn.evaluate(reference, db2)
+        want = {(s, d): c for s, d, _p, c in ref.rows("shortestPath")}
+        assert got == want
+
+    def test_rewrite_reduces_derivations(self):
+        """The pruned program does far less work than the guarded
+        original on a denser graph, where the full program enumerates
+        every simple path."""
+        import random
+
+        rng = random.Random(6)
+        names = [f"v{i}" for i in range(10)]
+        pairs = {(names[i], names[(i + 1) % 10]) for i in range(10)}
+        while len(pairs) < 16:
+            pairs.add(tuple(rng.sample(names, 2)))
+        links = []
+        for a, b in sorted(pairs):
+            cost = rng.randint(1, 9)
+            links += [(a, b, cost), (b, a, cost)]
+
+        rewritten = aggsel.rewrite(shortest_path())
+        db = Database.for_program(rewritten)
+        db.load_facts("link", links)
+        pruned = psn.evaluate(rewritten, db)
+
+        reference = shortest_path_safe()
+        db2 = Database.for_program(reference)
+        db2.load_facts("link", links)
+        full = psn.evaluate(reference, db2)
+        assert pruned.inferences < full.inferences / 2
+        assert len(pruned.db.table("path").rows()) < len(
+            full.db.table("path").rows()
+        ) / 2
+
+    def test_unknown_relation_rejected(self):
+        from repro.opt.aggsel import PruneSpec
+
+        with pytest.raises(PlanError):
+            aggsel.rewrite(
+                shortest_path(),
+                [PruneSpec("nosuch", "min", (0,), 1)],
+            )
+
+
+class TestPredicateReordering:
+    def test_sp2_right_to_left(self):
+        """Section 5.1.2: swapping #link and path turns SP2 from
+        right-recursive into left-recursive."""
+        rule = parse_rule(
+            "SP2: path(@S, @D, @Z, P, C) :- #link(@S, @Z, C1), "
+            "path(@Z, @D, @Z2, P2, C2), C := C1 + C2, "
+            "P := f_concatPath(link(@S, @Z, C1), P2)."
+        )
+        swapped = swap_recursive_to_left(rule, "path")
+        assert swapped.body_literals[0].pred == "path"
+        assert swapped.body_literals[1].pred == "link"
+        # Assignments re-placed after their inputs are bound.
+        back = swap_recursive_to_right(swapped, "path")
+        assert back.body_literals[0].pred == "link"
+
+    def test_reordering_preserves_semantics(self):
+        program = shortest_path_safe()
+        left = reorder_program(program, "path", to_left=True)
+        db1 = Database.for_program(program)
+        db1.load_facts("link", FIGURE2_LINKS)
+        db2 = Database.for_program(left)
+        db2.load_facts("link", FIGURE2_LINKS)
+        r1 = seminaive.evaluate(program, db1)
+        r2 = seminaive.evaluate(left, db2)
+        assert r1.rows("shortestPath") == r2.rows("shortestPath")
+
+    def test_bad_order_rejected(self):
+        rule = parse_rule("p(@S) :- q(@S), r(@S).")
+        with pytest.raises(PlanError):
+            reorder_body(rule, [0, 0])
+
+    def test_no_recursive_literal_is_noop(self):
+        rule = parse_rule("p(@S) :- q(@S), r(@S).")
+        assert swap_recursive_to_left(rule, "p") == rule
+
+
+class TestSemiNaiveRewrite:
+    def test_sp2_produces_paper_delta_rule(self):
+        """The rewrite of SP2 is the paper's SP2-1."""
+        rule = parse_rule(
+            "SP2: path(@S, @D, @Z, P, C) :- #link(@S, @Z, C1), "
+            "path(@Z, @D, @Z2, P2, C2), C := C1 + C2, "
+            "P := f_concatPath(link(@S, @Z, C1), P2)."
+        )
+        (delta,) = delta_rules_for(rule, {"path"})
+        assert delta.label == "SP2-1"
+        assert delta.head.pred == "delta_new_path"
+        preds = [lit.pred for lit in delta.body_literals]
+        assert preds == ["link", "delta_old_path"]
+
+    def test_nonlinear_rule_gets_one_strand_per_occurrence(self):
+        rule = parse_rule("T2: tc(X, Z) :- tc(X, Y), tc(Y, Z).")
+        deltas = delta_rules_for(rule, {"tc"})
+        assert len(deltas) == 2
+        first, second = deltas
+        # Footnote 2's form: old before the delta, full after.
+        assert [l.pred for l in first.body_literals] == [
+            "delta_old_tc", "tc"
+        ]
+        assert [l.pred for l in second.body_literals] == [
+            "old_tc", "delta_old_tc"
+        ]
+
+    def test_base_rule_unchanged(self):
+        rule = parse_rule("T1: tc(X, Y) :- edge(X, Y).")
+        assert delta_rules_for(rule, {"tc"}) == [rule]
+
+    def test_program_rewrite_counts(self):
+        program = parse(
+            """
+            T1: tc(X, Y) :- edge(X, Y).
+            T2: tc(X, Z) :- tc(X, Y), tc(Y, Z).
+            """
+        )
+        rewritten = seminaive_rewrite(program)
+        assert len(rewritten.rules) == 3  # T1 + two delta strands

@@ -1,0 +1,316 @@
+"""Distributed runtime tests: deployment, correctness against graph
+ground truth, FIFO-based eventual consistency (Theorem 4), dynamics,
+soft state, and the transport optimizations."""
+
+import heapq
+
+import pytest
+
+from repro.ndlog import parse, programs
+from repro.runtime import (
+    CachePolicy,
+    Cluster,
+    LinkUpdateDriver,
+    RuntimeConfig,
+    ShareSpec,
+    SoftStateManager,
+)
+from repro.topology import build_overlay, transit_stub
+from repro.topology.neighborhood import hop_distances
+
+
+def small_overlay(n=14, degree=3, seed=5):
+    return build_overlay(transit_stub(seed=seed), n_nodes=n, degree=degree,
+                         seed=seed)
+
+
+def dijkstra_costs(costs_by_pair, nodes):
+    adjacency = {}
+    for (a, b), cost in costs_by_pair.items():
+        adjacency.setdefault(a, []).append((b, cost))
+        adjacency.setdefault(b, []).append((a, cost))
+    out = {}
+    for source in nodes:
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, float("inf")):
+                continue
+            for nxt, w in adjacency.get(node, ()):
+                nd = d + w
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    heapq.heappush(heap, (nd, nxt))
+        for target, d in dist.items():
+            if target != source:
+                out[(source, target)] = d
+    return out
+
+
+def cluster_costs(cluster):
+    got = {}
+    for s, d, _p, c in cluster.rows("shortestPath"):
+        if s != d:
+            key = (s, d)
+            got[key] = min(c, got.get(key, float("inf")))
+    return got
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return small_overlay()
+
+
+class TestStaticConvergence:
+    def test_all_pairs_hopcount_matches_bfs(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "hopcount"},
+        )
+        cluster.run()
+        got = cluster_costs(cluster)
+        for source in overlay.nodes:
+            for target, d in hop_distances(overlay, source).items():
+                if target != source:
+                    assert got[(source, target)] == d
+
+    def test_all_pairs_latency_matches_dijkstra(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "latency"},
+        )
+        cluster.run()
+        want = dijkstra_costs(
+            {pair: m["latency"] for pair, m in overlay.links.items()},
+            overlay.nodes,
+        )
+        assert cluster_costs(cluster) == pytest.approx(want)
+
+    def test_safe_program_without_aggsel_also_converges(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path_safe(),
+            RuntimeConfig(aggregate_selections=False),
+            link_loads={"link": "hopcount"},
+        )
+        cluster.run()
+        got = cluster_costs(cluster)
+        dist = hop_distances(overlay, overlay.nodes[0])
+        for target, d in dist.items():
+            if target != overlay.nodes[0]:
+                assert got[(overlay.nodes[0], target)] == d
+
+    def test_reachability_program(self, overlay):
+        cluster = Cluster(
+            overlay, programs.reachability(), RuntimeConfig(),
+            link_loads={"link": "hopcount"},
+        )
+        cluster.run()
+        reach = cluster.rows("reach")
+        n = len(overlay.nodes)
+        assert len(reach) == n * (n - 1) + n  # includes self via cycles
+
+    def test_path_vectors_are_real_paths(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "latency"},
+        )
+        cluster.run()
+        for s, d, p, _c in cluster.rows("shortestPath"):
+            assert p[0] == s and p[-1] == d
+            for a, b in zip(p, p[1:]):
+                assert overlay.link_metrics(a, b) is not None
+
+    def test_tuples_only_flow_along_links(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "hopcount"},
+        )
+        cluster.run()
+        assert cluster.stats.dropped_no_link == 0
+
+    def test_convergence_tracker(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "hopcount"},
+        )
+        tracker = cluster.watch("shortestPath")
+        end = cluster.run()
+        assert 0 < tracker.convergence_time() <= end
+        curve = tracker.results_over_time()
+        assert curve[-1][1] == 1.0
+
+
+class TestDynamics:
+    def test_link_update_reconverges(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path_dynamic(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "random"},
+        )
+        driver = LinkUpdateDriver(cluster, metric="random", seed=3)
+        cluster.run()
+        for _ in range(3):
+            driver.apply_burst()
+            cluster.run()
+        want = dijkstra_costs(driver.costs, overlay.nodes)
+        assert cluster_costs(cluster) == pytest.approx(want)
+
+    def test_bursts_midflight_still_consistent(self, overlay):
+        """Theorem 4: bursts landing before the previous fixpoint
+        completes (Figure 14's regime) still quiesce to the fresh
+        state."""
+        cluster = Cluster(
+            overlay, programs.shortest_path_dynamic(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "random"},
+        )
+        driver = LinkUpdateDriver(cluster, metric="random", seed=4)
+        # Interleave bursts every 0.2 virtual seconds from the start.
+        driver.schedule_bursts([0.2, 0.4, 0.6, 0.8])
+        cluster.run()
+        want = dijkstra_costs(driver.costs, overlay.nodes)
+        assert cluster_costs(cluster) == pytest.approx(want)
+
+    def test_burst_cheaper_than_from_scratch(self, overlay):
+        cluster = Cluster(
+            overlay, programs.shortest_path_dynamic(),
+            RuntimeConfig(aggregate_selections=True),
+            link_loads={"link": "random"},
+        )
+        driver = LinkUpdateDriver(cluster, metric="random", seed=5)
+        cluster.run()
+        initial = cluster.stats.total_bytes()
+        driver.apply_burst()
+        cluster.run()
+        burst = cluster.stats.total_bytes() - initial
+        assert burst < 0.5 * initial
+
+
+class TestTransportModes:
+    def test_periodic_buffering_reduces_messages(self, overlay):
+        def run_with(interval):
+            cluster = Cluster(
+                overlay, programs.shortest_path(),
+                RuntimeConfig(aggregate_selections=True,
+                              buffer_interval=interval),
+                link_loads={"link": "random"},
+            )
+            cluster.run()
+            return cluster
+
+        eager = run_with(None)
+        periodic = run_with(0.4)
+        assert periodic.stats.total_mb() < eager.stats.total_mb()
+        # Same answers either way.
+        assert cluster_costs(eager) == cluster_costs(periodic)
+
+    def test_sharing_reduces_bytes_not_answers(self, overlay):
+        from repro.experiments.fig12 import merged_program, share_specs
+
+        program, link_loads = merged_program()
+
+        def run_with(share):
+            config = RuntimeConfig(
+                aggregate_selections=True,
+                share_delay=0.3 if share else None,
+                share_specs=share_specs() if share else {},
+            )
+            cluster = Cluster(overlay, program, config,
+                              link_loads=link_loads)
+            cluster.run()
+            return cluster
+
+        plain = run_with(False)
+        shared = run_with(True)
+        assert shared.stats.total_mb() < plain.stats.total_mb()
+        for pred in ("shortestPath_lat", "shortestPath_rel",
+                     "shortestPath_rnd"):
+            assert plain.rows(pred) == shared.rows(pred)
+
+
+class TestMagicAndCaching:
+    def run_queries(self, overlay, queries, caching):
+        config = RuntimeConfig(
+            aggregate_selections=True,
+            cache=CachePolicy(query_pred="pathQ__best") if caching else None,
+        )
+        cluster = Cluster(overlay, programs.multi_query_magic(), config,
+                          link_loads={"link": "hopcount"})
+        for index, (src, dst) in enumerate(queries):
+            cluster.sim.at(0.2 * index,
+                           lambda s=src, d=dst, i=index: cluster.inject(
+                               s, "magicQuery", (s, f"q{i}", d)))
+        cluster.run()
+        return cluster
+
+    def test_magic_query_answers_correct(self, overlay):
+        nodes = overlay.nodes
+        queries = [(nodes[0], nodes[-1]), (nodes[3], nodes[7])]
+        cluster = self.run_queries(overlay, queries, caching=False)
+        results = {args[1]: args[3] for args in cluster.rows("queryResult")}
+        for index, (src, dst) in enumerate(queries):
+            assert results[f"q{index}"] == hop_distances(overlay, src)[dst]
+
+    def test_cached_answers_remain_correct(self, overlay):
+        nodes = overlay.nodes
+        dst = nodes[-1]
+        queries = [(nodes[i], dst) for i in range(5)]
+        cluster = self.run_queries(overlay, queries, caching=True)
+        results = {args[1]: args[3] for args in cluster.rows("queryResult")}
+        for index, (src, _d) in enumerate(queries):
+            assert results[f"q{index}"] == hop_distances(overlay, src)[dst]
+        hits = sum(node.cache_hits for node in cluster.nodes.values())
+        assert hits > 0
+
+    def test_caching_saves_bandwidth_on_repeated_destination(self, overlay):
+        nodes = overlay.nodes
+        dst = nodes[-1]
+        queries = [(nodes[i], dst) for i in range(6)]
+        plain = self.run_queries(overlay, queries, caching=False)
+        cached = self.run_queries(overlay, queries, caching=True)
+        assert cached.stats.total_mb() < plain.stats.total_mb()
+
+
+class TestSoftState:
+    def test_expiry_without_refresh(self):
+        overlay = small_overlay(n=8, degree=2, seed=8)
+        program = parse(
+            """
+            materialize(beacon, 1.0, infinity, keys(1, 2)).
+            B1: seen(@D, S) :- #beacon(@S, @D, C).
+            """
+        )
+        cluster = Cluster(overlay, program, RuntimeConfig(validate=False),
+                          link_loads={"beacon": "hopcount"})
+        manager = SoftStateManager(cluster, sweep_interval=0.25)
+        manager.install()
+        cluster.run(until=3.0)
+        # All beacon tuples had a 1-second TTL and were never refreshed.
+        assert manager.expired_count > 0
+        assert not cluster.rows("beacon")
+
+    def test_refresh_keeps_facts_alive(self):
+        overlay = small_overlay(n=8, degree=2, seed=8)
+        program = parse(
+            """
+            materialize(beacon, 1.0, infinity, keys(1, 2)).
+            B1: seen(@D, S) :- #beacon(@S, @D, C).
+            """
+        )
+        cluster = Cluster(overlay, program, RuntimeConfig(validate=False),
+                          link_loads={"beacon": "hopcount"})
+        manager = SoftStateManager(cluster, sweep_interval=0.25)
+        manager.install()
+        rows_by_node = {}
+        for a, b, c in overlay.link_rows("hopcount"):
+            rows_by_node.setdefault(a, []).append((a, b, c))
+        manager.schedule_refresh("beacon", rows_by_node, interval=0.5,
+                                 rounds=6)
+        cluster.run(until=2.9)
+        assert cluster.rows("beacon")

@@ -1,0 +1,163 @@
+"""Topology substrate tests: transit-stub underlay, overlay, and the
+neighborhood function."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.topology import (
+    METRICS,
+    Overlay,
+    build_overlay,
+    hop_distance,
+    hop_distances,
+    neighborhood_at,
+    neighborhood_function,
+    optimal_split,
+    search_costs,
+    transit_stub,
+)
+
+
+@pytest.fixture(scope="module")
+def underlay():
+    return transit_stub(seed=3)
+
+
+@pytest.fixture(scope="module")
+def overlay(underlay):
+    return build_overlay(underlay, n_nodes=30, degree=3, seed=3)
+
+
+class TestTransitStub:
+    def test_paper_parameters_give_100_nodes(self, underlay):
+        # 4 transit + 4 * 3 * 8 stub nodes = 100 (Section 6.1).
+        assert len(underlay.nodes) == 100
+        assert len(underlay.transit_nodes) == 4
+        assert len(underlay.stub_nodes) == 96
+
+    def test_connected(self, underlay):
+        assert underlay.is_connected()
+
+    def test_latency_classes(self, underlay):
+        latencies = set(underlay.edges.values())
+        assert latencies == {0.050, 0.010, 0.002}
+
+    def test_transit_clique(self, underlay):
+        for i, a in enumerate(underlay.transit_nodes):
+            for b in underlay.transit_nodes[i + 1:]:
+                key = (a, b) if a <= b else (b, a)
+                assert underlay.edges[key] == 0.050
+
+    def test_cross_stub_latency_traverses_transit(self, underlay):
+        # Nodes in stubs of different transit domains are >= 50ms apart
+        # plus gateway hops.
+        a = "s0_0_1"
+        b = "s3_2_4"
+        dist = underlay.latencies_from(a)[b]
+        assert dist >= 0.050 + 2 * 0.010
+
+    def test_intra_stub_cheap(self, underlay):
+        dist = underlay.latencies_from("s0_0_0")["s0_0_4"]
+        assert dist <= 8 * 0.002
+
+    def test_custom_shape(self):
+        small = transit_stub(transits=2, stubs_per_transit=2,
+                             nodes_per_stub=3, seed=9)
+        assert len(small.nodes) == 2 + 2 * 2 * 3
+        assert small.is_connected()
+
+
+class TestOverlay:
+    def test_size_and_connectivity(self, overlay):
+        assert len(overlay.nodes) == 30
+        assert overlay.is_connected()
+
+    def test_degree_at_least_requested(self, overlay):
+        # Each node picked 3 neighbors; unioning bidirectional picks can
+        # only increase a node's degree.
+        for node in overlay.nodes:
+            assert overlay.degree(node) >= 3
+
+    def test_metrics_present_and_sane(self, overlay):
+        for metrics in overlay.links.values():
+            assert set(metrics) == set(METRICS)
+            assert metrics["hopcount"] == 1
+            assert metrics["latency"] >= 1.0
+            assert 1 <= metrics["random"] <= 100
+
+    def test_reliability_correlated_with_latency(self, overlay):
+        # Paper: "reliability (link loss correlated with latency)".
+        pairs = [(m["latency"], m["reliability"])
+                 for m in overlay.links.values()]
+        n = len(pairs)
+        mean_l = sum(p[0] for p in pairs) / n
+        mean_r = sum(p[1] for p in pairs) / n
+        cov = sum((l - mean_l) * (r - mean_r) for l, r in pairs)
+        var_l = sum((l - mean_l) ** 2 for l, _ in pairs)
+        var_r = sum((r - mean_r) ** 2 for _, r in pairs)
+        correlation = cov / (var_l ** 0.5 * var_r ** 0.5)
+        assert correlation > 0.9
+
+    def test_link_rows_bidirectional(self, overlay):
+        rows = overlay.link_rows("hopcount")
+        assert len(rows) == 2 * len(overlay.links)
+        row_set = {(a, b) for a, b, _c in rows}
+        for a, b in overlay.links:
+            assert (a, b) in row_set and (b, a) in row_set
+
+    def test_unknown_metric_rejected(self, overlay):
+        with pytest.raises(NetworkError):
+            overlay.link_rows("bogus")
+
+    def test_link_metrics_symmetric_lookup(self, overlay):
+        (a, b) = next(iter(overlay.links))
+        assert overlay.link_metrics(a, b) == overlay.link_metrics(b, a)
+
+    def test_deterministic_given_seed(self, underlay):
+        o1 = build_overlay(underlay, n_nodes=20, degree=3, seed=7)
+        o2 = build_overlay(underlay, n_nodes=20, degree=3, seed=7)
+        assert o1.links == o2.links
+
+
+class TestNeighborhood:
+    def test_hop_distances_bfs(self, overlay):
+        source = overlay.nodes[0]
+        dist = hop_distances(overlay, source)
+        assert dist[source] == 0
+        assert len(dist) == len(overlay.nodes)  # connected
+
+    def test_neighborhood_function_monotone_and_complete(self, overlay):
+        node = overlay.nodes[0]
+        nf = neighborhood_function(overlay, node)
+        assert nf[0] == 1  # the node itself
+        assert all(nf[i] <= nf[i + 1] for i in range(len(nf) - 1))
+        assert nf[-1] == len(overlay.nodes)  # transitive closure size
+
+    def test_neighborhood_at_clamps(self, overlay):
+        node = overlay.nodes[0]
+        assert neighborhood_at(overlay, node, 999) == len(overlay.nodes)
+        assert neighborhood_at(overlay, node, 1) == 1 + overlay.degree(node)
+
+    def test_optimal_split_is_optimal(self, overlay):
+        src, dst = overlay.nodes[0], overlay.nodes[-1]
+        rs, rd, cost = optimal_split(overlay, src, dst)
+        distance = hop_distance(overlay, src, dst)
+        assert rs + rd == distance
+        nf_s = neighborhood_function(overlay, src)
+        nf_d = neighborhood_function(overlay, dst)
+
+        def at(nf, r):
+            return nf[min(r, len(nf) - 1)]
+
+        for r in range(distance + 1):
+            assert cost <= at(nf_s, r) + at(nf_d, distance - r)
+
+    def test_hybrid_never_worse_than_td_or_bu(self, overlay):
+        """Section 5.3: the hybrid split is at least as good as either
+        pure strategy."""
+        nodes = overlay.nodes
+        for src, dst in [(nodes[0], nodes[5]), (nodes[3], nodes[-1]),
+                         (nodes[10], nodes[20])]:
+            costs = search_costs(overlay, src, dst)
+            assert costs["hybrid"] <= costs["td"]
+            assert costs["hybrid"] <= costs["bu"]

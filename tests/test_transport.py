@@ -1,0 +1,153 @@
+"""Unit tests for the transport layer's buffering modes (net-change
+elimination and share grouping) against a stub cluster."""
+
+import pytest
+
+from repro.net.message import NetDelta
+from repro.net.sim import Simulator
+from repro.net.stats import TrafficStats
+from repro.runtime.config import RuntimeConfig, ShareSpec
+from repro.runtime.transport import Transport
+
+
+class StubCluster:
+    """Just enough cluster for a Transport: a simulator, stats, a fake
+    channel, and primary keys."""
+
+    class _Channel:
+        def __init__(self, log):
+            self.log = log
+
+        def transmit(self, sim, message, deliver, rng=None):
+            self.log.append(message)
+            return sim.now
+
+    def __init__(self, pkeys=None):
+        self.sim = Simulator()
+        self.stats = TrafficStats()
+        self.sent = []
+        self._channel = self._Channel(self.sent)
+        self._pkeys = pkeys or {}
+        self.loss_rng = None
+
+    def channel(self, a, b):
+        return self._channel
+
+    def deliver(self, message):
+        pass
+
+    def pkey_of(self, pred, args):
+        key = self._pkeys.get(pred)
+        if not key:
+            return args
+        return tuple(args[i] for i in key)
+
+
+def drain(cluster):
+    cluster.sim.run()
+
+
+class TestDirectMode:
+    def test_one_message_per_send(self):
+        cluster = StubCluster()
+        transport = Transport(cluster, RuntimeConfig())
+        transport.send("a", "b", "p", (1,), 1)
+        transport.send("a", "b", "p", (2,), 1)
+        assert len(cluster.sent) == 2
+        assert cluster.stats.messages == 2
+
+
+class TestNetChangeMode:
+    def config(self):
+        return RuntimeConfig(buffer_interval=0.1)
+
+    def test_transient_insert_delete_suppressed(self):
+        """A tuple inserted and retracted within one window never hits
+        the wire (the periodic aggregate-selections saving)."""
+        cluster = StubCluster(pkeys={"best": (0, 1)})
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "best", ("a", "d", 5), 1)
+        transport.send("a", "b", "best", ("a", "d", 5), -1)
+        drain(cluster)
+        assert cluster.sent == []
+
+    def test_flip_flop_collapses_to_final(self):
+        cluster = StubCluster(pkeys={"best": (0, 1)})
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "best", ("a", "d", 5), 1)
+        transport.send("a", "b", "best", ("a", "d", 5), -1)
+        transport.send("a", "b", "best", ("a", "d", 3), 1)
+        drain(cluster)
+        (message,) = cluster.sent
+        assert message.deltas == (NetDelta("best", ("a", "d", 3), 1),)
+
+    def test_unchanged_readvertisement_suppressed(self):
+        cluster = StubCluster(pkeys={"best": (0, 1)})
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "best", ("a", "d", 5), 1)
+        drain(cluster)
+        transport.send("a", "b", "best", ("a", "d", 5), 1)
+        drain(cluster)
+        assert len(cluster.sent) == 1  # second window had no net change
+
+    def test_deletion_of_advertised_tuple_sent(self):
+        cluster = StubCluster(pkeys={"best": (0, 1)})
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "best", ("a", "d", 5), 1)
+        drain(cluster)
+        transport.send("a", "b", "best", ("a", "d", 5), -1)
+        drain(cluster)
+        assert cluster.sent[1].deltas[0].sign == -1
+
+    def test_replacement_retracts_what_receiver_has(self):
+        """If cost 5 was advertised and the window ends at cost 3, the
+        receiver's pkey replacement handles the swap: only +3 is sent."""
+        cluster = StubCluster(pkeys={"best": (0, 1)})
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "best", ("a", "d", 5), 1)
+        drain(cluster)
+        transport.send("a", "b", "best", ("a", "d", 5), -1)
+        transport.send("a", "b", "best", ("a", "d", 3), 1)
+        drain(cluster)
+        assert cluster.sent[1].deltas == (
+            NetDelta("best", ("a", "d", 3), 1),
+        )
+
+
+class TestShareMode:
+    def config(self):
+        return RuntimeConfig(
+            share_delay=0.1,
+            share_specs={
+                "path_lat": ShareSpec(base="path", value_positions=(2,)),
+                "path_rnd": ShareSpec(base="path", value_positions=(2,)),
+            },
+        )
+
+    def test_matching_tuples_merge(self):
+        cluster = StubCluster()
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "path_lat", ("a", "d", 5), 1)
+        transport.send("a", "b", "path_rnd", ("a", "d", 77), 1)
+        drain(cluster)
+        (message,) = cluster.sent
+        assert len(message.deltas) == 2
+        assert message.shared_bytes > 0
+        solo = sum(d.payload_size() for d in message.deltas) + 20
+        assert message.size < solo
+
+    def test_non_matching_tuples_do_not_merge(self):
+        cluster = StubCluster()
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "path_lat", ("a", "d", 5), 1)
+        transport.send("a", "b", "path_rnd", ("a", "ZZZ", 77), 1)
+        drain(cluster)
+        assert len(cluster.sent) == 2
+        assert all(m.shared_bytes == 0 for m in cluster.sent)
+
+    def test_unspecced_relations_pass_through(self):
+        cluster = StubCluster()
+        transport = Transport(cluster, self.config())
+        transport.send("a", "b", "other", (1,), 1)
+        drain(cluster)
+        assert len(cluster.sent) == 1

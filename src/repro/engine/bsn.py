@@ -42,27 +42,32 @@ class BSNEngine(PSNEngine):
         db: Optional[Database] = None,
         scheduler: Scheduler = drain_all,
         on_commit=None,
+        use_plans: bool = True,
     ):
-        super().__init__(program, db=db, on_commit=on_commit)
+        super().__init__(program, db=db, on_commit=on_commit,
+                         use_plans=use_plans)
         self.scheduler = scheduler
         self.iterations = 0
 
     def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
+        """Drain the buffer in scheduled batches; the ``max_steps``
+        limit is exact (batches are clipped so at most ``max_steps``
+        deltas are ever processed)."""
         taken = 0
         while self.queue:
+            if taken >= max_steps:
+                raise EvaluationError(
+                    f"BSN exceeded {max_steps} steps (non-terminating "
+                    f"program?)"
+                )
             batch = self.scheduler(len(self.queue))
             if batch <= 0:
                 # A scheduler may defer work, but an empty schedule with a
                 # non-empty buffer would spin forever: process one tuple.
                 batch = 1
-            batch = min(batch, len(self.queue))
+            batch = min(batch, len(self.queue), max_steps - taken)
             taken += self.run_batch(batch)
             self.iterations += 1
-            if taken > max_steps:
-                raise EvaluationError(
-                    f"BSN exceeded {max_steps} steps (non-terminating "
-                    f"program?)"
-                )
         return taken
 
     def fixpoint(self, max_steps: int = DEFAULT_MAX_STEPS) -> EvalResult:
@@ -76,8 +81,8 @@ def evaluate(
     db: Optional[Database] = None,
     scheduler: Scheduler = drain_all,
     max_steps: int = DEFAULT_MAX_STEPS,
+    use_plans: bool = True,
 ) -> EvalResult:
     """Run ``program`` to fixpoint with BSN and return the result."""
-    return BSNEngine(program, db=db, scheduler=scheduler).fixpoint(
-        max_steps=max_steps
-    )
+    return BSNEngine(program, db=db, scheduler=scheduler,
+                     use_plans=use_plans).fixpoint(max_steps=max_steps)

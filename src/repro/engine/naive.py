@@ -4,6 +4,11 @@ The reference implementation every other engine is checked against: no
 deltas, no book-keeping -- each iteration re-derives everything from the
 full current state until nothing changes.  Deliberately simple; used for
 correctness baselines and the engine micro-benchmarks.
+
+With ``use_plans=True`` (the default) each rule's join is compiled once
+per stratum (see :mod:`repro.engine.rules`) and the plan is reused every
+iteration; ``use_plans=False`` keeps the original interpreted
+:func:`repro.engine.rules.solve` path for baseline comparisons.
 """
 
 from __future__ import annotations
@@ -14,25 +19,50 @@ from repro.errors import EvaluationError
 from repro.engine.aggregates import AggregateView
 from repro.engine.database import Database
 from repro.engine.fixpoint import EvalResult, load_program_facts
-from repro.engine.rules import CompiledRule, instantiate_head, solve
+from repro.engine.rules import (
+    CompiledRule,
+    compile_plan,
+    rule_head as _head_of,
+    rule_solutions as _solutions,
+)
 from repro.engine.stratify import stratify
 from repro.ndlog.ast import Program
+from repro.opt.costbased import StatsCatalog
 
 #: Guard against non-terminating programs (e.g. Figure 1 on a cyclic
 #: graph without aggregate selections, as discussed in Section 2).
 DEFAULT_MAX_ITERATIONS = 10_000
 
 
+def _plan_for(crule: CompiledRule, db: Database, stats, use_plans: bool):
+    """Compile (and index-register) a full-rule plan, or ``None`` when
+    planning is off."""
+    if not use_plans:
+        return None
+    plan = compile_plan(crule, stats=stats)
+    for pred, positions in plan.index_requests():
+        db.table(pred).register_index(positions)
+    return plan
+
+
+def _table_sources(crule: CompiledRule, db: Database) -> Dict[int, object]:
+    return {
+        index: db.table(crule.body[index].pred)
+        for index in crule.literal_indexes
+    }
+
+
 def evaluate(
     program: Program,
     db: Optional[Database] = None,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    use_plans: bool = True,
 ) -> EvalResult:
     if db is None:
         db = Database.for_program(program)
     load_program_facts(program, db)
     result = EvalResult(db=db)
-    sources = {}
+    stats = StatsCatalog.from_database(db) if use_plans else None
 
     for stratum in stratify(program):
         compiled = [CompiledRule(rule) for rule in stratum.rules]
@@ -40,6 +70,10 @@ def evaluate(
                  if c.aggregate is None and c.argmin is None]
         aggregated = [c for c in compiled if c.aggregate is not None]
         argmins = [c for c in compiled if c.argmin is not None]
+        # Compile once per stratum; reuse the plan (and the source dict)
+        # on every iteration of the loop below.
+        plans = {id(c): _plan_for(c, db, stats, use_plans) for c in compiled}
+        sources = {id(c): _table_sources(c, db) for c in compiled}
 
         iterations = 0
         while True:
@@ -53,16 +87,15 @@ def evaluate(
             changed = False
             for crule in plain:
                 table = db.table(crule.head.pred)
-                rule_sources = {
-                    index: db.table(crule.body[index].pred)
-                    for index in crule.literal_indexes
-                }
+                plan = plans[id(crule)]
                 # Materialize the solutions first: the head table may be
                 # among the sources, and inserting while scanning it is
                 # undefined.
-                for bindings in list(solve(crule, rule_sources, db.functions)):
+                for bindings in list(
+                    _solutions(crule, sources[id(crule)], db.functions, plan)
+                ):
                     result.inferences += 1
-                    head = instantiate_head(crule, bindings, db.functions)
+                    head = _head_of(crule, bindings, db.functions, plan)
                     if head not in table:
                         table.insert(head)
                         changed = True
@@ -74,13 +107,12 @@ def evaluate(
         # from the now-complete lower strata.
         for crule in aggregated:
             view = AggregateView(crule.head.pred, crule.aggregate)
-            rule_sources = {
-                index: db.table(crule.body[index].pred)
-                for index in crule.literal_indexes
-            }
-            for bindings in solve(crule, rule_sources, db.functions):
+            plan = plans[id(crule)]
+            for bindings in _solutions(
+                crule, sources[id(crule)], db.functions, plan
+            ):
                 result.inferences += 1
-                contribution = instantiate_head(crule, bindings, db.functions)
+                contribution = _head_of(crule, bindings, db.functions, plan)
                 view.apply(contribution, 1)
             table = db.table(crule.head.pred)
             for head in view.current_rows():
@@ -90,21 +122,18 @@ def evaluate(
         # Arg-min witness views (non-recursive only; see stratify):
         # recompute the deterministic group winner from scratch.
         for crule in argmins:
-            _materialize_argmin(db, crule, result)
+            _materialize_argmin(db, crule, result, plan=plans[id(crule)])
     return result
 
 
 def _materialize_argmin(db: Database, crule: CompiledRule,
-                        result: EvalResult) -> None:
+                        result: EvalResult, plan=None) -> None:
     group_positions, value_position, func = crule.argmin
-    rule_sources = {
-        index: db.table(crule.body[index].pred)
-        for index in crule.literal_indexes
-    }
+    rule_sources = _table_sources(crule, db)
     winners = {}
-    for bindings in solve(crule, rule_sources, db.functions):
+    for bindings in _solutions(crule, rule_sources, db.functions, plan):
         result.inferences += 1
-        head = instantiate_head(crule, bindings, db.functions)
+        head = _head_of(crule, bindings, db.functions, plan)
         group = tuple(head[i] for i in group_positions)
         best = winners.get(group)
         if best is None:

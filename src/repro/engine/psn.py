@@ -31,6 +31,15 @@ Under this discipline:
 
 One engine therefore serves as the paper's PSN evaluator *and* its
 materialized-view maintenance layer.
+
+**Join plans.**  With ``use_plans=True`` (the default) every strand
+carries a join plan compiled at engine construction (see
+:mod:`repro.engine.rules`): literal order chosen by bound-ness and
+estimated selectivity, per-literal lookup/bind metadata precomputed,
+expressions compiled to closures, partner tables (and their live index
+dicts) bound into the executor, and all probed indexes pre-registered
+on the tables.  ``use_plans=False`` keeps the original interpreted
+path for baseline comparisons (``benchmarks/bench_join_plans.py``).
 """
 
 from __future__ import annotations
@@ -46,10 +55,13 @@ from repro.engine.fixpoint import EvalResult
 from repro.engine.table import INFINITY
 from repro.engine.rules import (
     CompiledRule,
+    compile_driver_step,
+    compile_plan,
     instantiate_head,
     solve,
     unify_literal,
 )
+from repro.opt.costbased import StatsCatalog
 from repro.ndlog.ast import Literal, Program
 from repro.ndlog.terms import evaluate as eval_term
 
@@ -67,14 +79,44 @@ class QueuedDelta(NamedTuple):
 
 class Strand:
     """One rule strand: a compiled rule driven by one body literal
-    position, as in Figures 3 and 5 of the paper."""
+    position, as in Figures 3 and 5 of the paper.
 
-    __slots__ = ("crule", "driver_index", "driver_literal")
+    When join planning is on, the strand carries everything the hot
+    path needs, compiled once at engine construction: ``plan`` (the
+    ordered, metadata-annotated join over the non-driver literals),
+    ``driver_step`` (the matcher seeding bindings from the driving
+    fact), and ``sources`` (body index -> table, fixed per engine).
+    """
+
+    __slots__ = ("crule", "driver_index", "driver_literal", "plan",
+                 "driver_step", "sources", "bound_executor")
 
     def __init__(self, crule: CompiledRule, driver_index: int):
         self.crule = crule
         self.driver_index = driver_index
         self.driver_literal: Literal = crule.body[driver_index]
+        self.plan = None
+        self.driver_step = None
+        self.sources: Optional[Dict[int, object]] = None
+        self.bound_executor = None
+
+    def attach_plan(self, db: Database, stats=None) -> None:
+        """Compile this strand's join plan against ``db``; the executor
+        is *bound* -- the partner tables (and their live index dicts)
+        are captured in the closures, pre-registering every index the
+        plan probes."""
+        self.plan = compile_plan(
+            self.crule, driver_index=self.driver_index, stats=stats
+        )
+        self.driver_step = compile_driver_step(self.crule, self.driver_index)
+        self.sources = {
+            index: db.table(self.crule.body[index].pred)
+            for index in self.crule.literal_indexes
+            if index != self.driver_index
+        }
+        for pred, positions in self.plan.index_requests():
+            db.table(pred).register_index(positions)
+        self.bound_executor = self.plan.bind(self.sources)
 
     def __repr__(self) -> str:
         return f"Strand({self.crule.label}, driver={self.driver_literal.pred})"
@@ -108,11 +150,20 @@ class PSNEngine:
         program: Program,
         db: Optional[Database] = None,
         on_commit: Optional[Callable[[Fact, int], None]] = None,
+        use_plans: bool = True,
+        stats: Optional[StatsCatalog] = None,
     ):
         self.program = program
         self.db = db if db is not None else Database.for_program(program)
         self.compiled = [CompiledRule(rule) for rule in program.rules if rule.body]
         self.strands = build_strands(self.compiled)
+        self.use_plans = use_plans
+        if use_plans:
+            if stats is None:
+                stats = StatsCatalog.from_database(self.db)
+            for strand_list in self.strands.values():
+                for strand in strand_list:
+                    strand.attach_plan(self.db, stats=stats)
         self.views: Dict[str, AggregateView] = {}
         self.argmin_views: Dict[str, ArgExtremeView] = {}
         for crule in self.compiled:
@@ -188,16 +239,21 @@ class PSNEngine:
                     self._enqueue(QueuedDelta(fact, 1))
 
     def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
-        """Process queued deltas until quiescent; returns steps taken."""
+        """Process queued deltas until quiescent; returns steps taken.
+
+        The limit is exact: at most ``max_steps`` deltas are processed,
+        and the engine raises as soon as a further delta would exceed
+        it (not one delta too late).
+        """
         taken = 0
         while self.queue:
-            self.process_next()
-            taken += 1
-            if taken > max_steps:
+            if taken >= max_steps:
                 raise EvaluationError(
                     f"PSN exceeded {max_steps} steps (non-terminating "
                     f"program?)"
                 )
+            self.process_next()
+            taken += 1
         return taken
 
     def run_batch(self, batch: int) -> int:
@@ -231,11 +287,13 @@ class PSNEngine:
     def _commit_insert(self, fact: Fact) -> None:
         table = self.db.table(fact.pred)
         if fact.args in table:
-            # Another derivation of a visible fact: bump its count only.
-            # For soft-state tables (finite lifetime) the re-insertion is
-            # a *refresh* and must reach the TTL observer (Section 4.2:
-            # "facts must be explicitly reinserted ... with a new TTL").
-            table.insert(fact.args)
+            # Another derivation of a visible fact: bump its count and
+            # refresh its timestamp to the current clock.  For soft-state
+            # tables (finite lifetime) the re-insertion is a *refresh*
+            # and must reach the TTL observer (Section 4.2: "facts must
+            # be explicitly reinserted ... with a new TTL").
+            self.clock += 1
+            table.insert(fact.args, ts=self.clock)
             if table.lifetime != INFINITY and self.on_commit is not None:
                 self.on_commit(fact, 1)
             return
@@ -274,6 +332,20 @@ class PSNEngine:
     def _fire_strand(self, strand: Strand, fact: Fact, sign: int) -> None:
         crule = strand.crule
         functions = self.db.functions
+        if strand.plan is not None:
+            seed = strand.driver_step.match(fact.args, {}, functions)
+            if seed is None:
+                return
+            emit = self._emit
+            instantiate = crule.instantiate
+            inferences = 0
+            for bindings in strand.bound_executor(
+                seed, None, functions, fact, None
+            ):
+                inferences += 1
+                emit(crule, instantiate(bindings, functions), sign)
+            self.inferences += inferences
+            return
         seed = unify_literal(strand.driver_literal, fact.args, {}, functions)
         if seed is None:
             return
@@ -315,7 +387,8 @@ def evaluate(
     program: Program,
     db: Optional[Database] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
+    use_plans: bool = True,
 ) -> EvalResult:
     """Run ``program`` to fixpoint with PSN and return the result."""
-    engine = PSNEngine(program, db=db)
+    engine = PSNEngine(program, db=db, use_plans=use_plans)
     return engine.fixpoint(max_steps=max_steps)

@@ -1,9 +1,35 @@
-"""Rule compilation and the join evaluator shared by every engine.
+"""Rule compilation and the join evaluators shared by every engine.
 
-A rule body is evaluated left to right (the paper notes implementations
-"typically employ a left-to-right execution strategy").  Each literal is
-matched against a *source* -- a full table, a snapshot set, or a single
-driving fact -- using hash lookups on the positions already bound.
+Two evaluation paths live here:
+
+* :func:`solve` -- the original interpreter.  A rule body is evaluated
+  left to right (the paper notes implementations "typically employ a
+  left-to-right execution strategy"); each literal is matched against a
+  *source* -- a full table, a snapshot set, or a single driving fact --
+  re-deriving the bound positions from the body AST on every call and
+  re-unifying every argument of every candidate tuple.  Kept as the
+  reference implementation (``use_plans=False`` in the engines) and as
+  the baseline for ``benchmarks/bench_join_plans.py``.
+
+* :func:`compile_plan` / :func:`execute_plan` -- the compile-once join
+  plans used by all engines by default.  For each rule (optionally
+  relative to a *driving* literal, i.e. one strand of Figures 3/5 of
+  the paper) the compiler chooses a literal order (bound-ness first,
+  then estimated selectivity -- Sections 5.1.2/5.3, via
+  :mod:`repro.planner.reorder` and :class:`repro.opt.costbased.StatsCatalog`)
+  and precomputes per-literal static metadata:
+
+  - which argument positions feed the hash-index lookup (constants,
+    variables bound by the left-to-right prefix, and expressions whose
+    inputs the prefix binds);
+  - which positions bind new variables (and where a variable repeats
+    *within* the literal, reducing unification to a positional equality
+    check on the candidate tuple);
+  - which embedded expressions must be checked per candidate.
+
+  Executing a plan therefore does no per-tuple AST introspection: the
+  index lookup eliminates the bound positions entirely and only the
+  genuinely unbound positions are touched per candidate.
 
 ``ts_limit`` implements PSN's timestamp discipline: when given, a literal
 only matches facts whose insertion timestamp is ``<= ts_limit``, so each
@@ -23,8 +49,10 @@ from repro.ndlog.terms import (
     Constant,
     Term,
     Variable,
+    compile_term,
     evaluate,
 )
+from repro.planner.reorder import choose_next_literal
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +134,52 @@ class CompiledRule:
             )
         #: (group_positions, value_position, func) witness annotation.
         self.argmin = rule.argmin
+        self._head_getters: Optional[Tuple[Callable, ...]] = None
+
+    def head_getters(self) -> Tuple[Callable, ...]:
+        """Compiled head template: one ``getter(bindings, functions)``
+        per head position, built once per rule (used by the planned
+        evaluation path instead of re-dispatching on term types per
+        firing)."""
+        if self._head_getters is None:
+            getters: List[Callable] = []
+            label = self.label
+            for term in self.head.args:
+                if isinstance(term, AggregateSpec):
+                    if term.var:
+                        def agg_getter(bindings, functions, _name=term.var,
+                                       _label=label):
+                            try:
+                                return bindings[_name]
+                            except KeyError:
+                                raise EvaluationError(
+                                    f"aggregate variable {_name!r} unbound "
+                                    f"in {_label}"
+                                ) from None
+                        getters.append(agg_getter)
+                    else:
+                        getters.append(lambda bindings, functions: 1)
+                elif isinstance(term, Constant):
+                    getters.append(
+                        lambda bindings, functions, _v=term.value: _v
+                    )
+                elif isinstance(term, Variable):
+                    getters.append(
+                        lambda bindings, functions, _n=term.name: bindings[_n]
+                    )
+                else:
+                    getters.append(compile_term(term))
+            self._head_getters = tuple(getters)
+        return self._head_getters
+
+    def instantiate(self, bindings: Dict[str, object],
+                    functions: Dict[str, Callable]) -> Tuple:
+        """Ground the head via the compiled template (see
+        :func:`instantiate_head` for the interpreted equivalent)."""
+        getters = self._head_getters
+        if getters is None:
+            getters = self.head_getters()
+        return tuple([g(bindings, functions) for g in getters])
 
     @property
     def label(self) -> str:
@@ -282,6 +356,681 @@ def _solve_from(
         return
 
     raise PlanError(f"unsupported body item {item!r}")
+
+
+# ----------------------------------------------------------------------
+# Compiled join plans
+# ----------------------------------------------------------------------
+#: Getter kinds for index-lookup positions.
+_CONST, _VAR, _EXPR = 0, 1, 2
+
+
+class LiteralStep:
+    """Static matching metadata for one body literal at its position in
+    a compiled plan.
+
+    Given the set of variables bound by the evaluation prefix, every
+    argument position is classified once, at compile time:
+
+    * ``positions`` / ``getters`` -- positions consumed by the hash
+      index lookup: constants, prefix-bound variables, and expressions
+      whose inputs are prefix-bound.  ``static_values`` caches the value
+      tuple when it is all constants.
+    * ``bind_specs`` -- positions whose (first-occurrence) variable is
+      bound from the candidate tuple.
+    * ``dup_checks`` -- ``(pos, first_pos)`` pairs for a variable
+      repeated within the literal: candidate tuples must agree on the
+      two positions (a pure positional comparison, no unification).
+    * ``residual_exprs`` -- embedded expressions whose inputs include
+      variables this literal itself binds; checked per candidate after
+      binding.
+
+    ``exclude_driver`` marks literals that precede the driving literal
+    in the original body of a strand and share its predicate: the
+    paper's footnote-2 delta form excludes the driving fact there so a
+    self-join derivation fires exactly once (Theorem 2).
+    """
+
+    __slots__ = (
+        "literal", "body_index", "arity", "positions", "getters",
+        "static_values", "bind_specs", "dup_checks", "residual_exprs",
+        "exclude_driver", "values_fn", "fast_bind",
+    )
+
+    def __init__(self, literal: Literal, body_index: int, bound,
+                 exclude_driver: bool = False):
+        self.literal = literal
+        self.body_index = body_index
+        self.arity = len(literal.args)
+        self.exclude_driver = exclude_driver
+        lookups: List[Tuple[int, int, object]] = []
+        bind_specs: List[Tuple[int, str]] = []
+        dup_checks: List[Tuple[int, int]] = []
+        residual: List[Tuple[int, Term]] = []
+        first_local: Dict[str, int] = {}
+        for pos, term in enumerate(literal.args):
+            if isinstance(term, Constant):
+                lookups.append((pos, _CONST, term.value))
+            elif isinstance(term, Variable):
+                name = term.name
+                if name in bound:
+                    lookups.append((pos, _VAR, name))
+                elif name in first_local:
+                    dup_checks.append((pos, first_local[name]))
+                else:
+                    first_local[name] = pos
+                    bind_specs.append((pos, name))
+            else:
+                # Embedded expressions are compiled to closures here, so
+                # the hot loops below never re-dispatch on term types.
+                if term.variables() <= bound:
+                    lookups.append((pos, _EXPR, compile_term(term)))
+                else:
+                    residual.append((pos, compile_term(term)))
+        self.positions = tuple(pos for pos, _kind, _payload in lookups)
+        self.getters = tuple((kind, payload) for _pos, kind, payload in lookups)
+        if all(kind == _CONST for kind, _payload in self.getters):
+            self.static_values: Optional[Tuple] = tuple(
+                payload for _kind, payload in self.getters
+            )
+        else:
+            self.static_values = None
+        self.bind_specs = tuple(bind_specs)
+        self.dup_checks = tuple(dup_checks)
+        self.residual_exprs = tuple(residual)
+        self.values_fn = self._compile_values_fn()
+        #: Fast-path unification for the common driver shape (every
+        #: position a distinct fresh variable): just zip names to args.
+        if (not self.positions and not self.dup_checks
+                and not self.residual_exprs
+                and len(self.bind_specs) == self.arity):
+            self.fast_bind: Optional[Tuple[str, ...]] = tuple(
+                name for _pos, name in self.bind_specs
+            )
+        else:
+            self.fast_bind = None
+
+    def _compile_values_fn(self) -> Callable:
+        """Specialized lookup-value constructors for the common getter
+        shapes, compiled once per step."""
+        if self.static_values is not None:
+            static = self.static_values
+            return lambda bindings, functions: static
+        if all(kind == _VAR for kind, _payload in self.getters):
+            names = tuple(payload for _kind, payload in self.getters)
+            if len(names) == 1:
+                name = names[0]
+                return lambda bindings, functions: (bindings[name],)
+            return lambda bindings, functions: tuple(
+                [bindings[n] for n in names]
+            )
+        return self.lookup_values
+
+    def new_vars(self) -> frozenset:
+        return frozenset(name for _pos, name in self.bind_specs)
+
+    def lookup_values(
+        self, bindings: Dict[str, object], functions: Dict[str, Callable]
+    ) -> Tuple:
+        if self.static_values is not None:
+            return self.static_values
+        values: List[object] = []
+        for kind, payload in self.getters:
+            if kind == _CONST:
+                values.append(payload)
+            elif kind == _VAR:
+                values.append(bindings[payload])
+            else:
+                values.append(payload(bindings, functions))
+        return tuple(values)
+
+    def match(
+        self,
+        fact_args: Tuple,
+        bindings: Dict[str, object],
+        functions: Dict[str, Callable],
+    ) -> Optional[Dict[str, object]]:
+        """Unify one tuple against this step (used to seed a strand from
+        its driving fact).  Returns extended bindings or ``None``."""
+        if len(fact_args) != self.arity:
+            return None
+        if self.fast_bind is not None and not bindings:
+            return dict(zip(self.fast_bind, fact_args))
+        for pos, (kind, payload) in zip(self.positions, self.getters):
+            value = fact_args[pos]
+            if kind == _CONST:
+                if payload != value:
+                    return None
+            elif kind == _VAR:
+                if bindings[payload] != value:
+                    return None
+            else:
+                if payload(bindings, functions) != value:
+                    return None
+        for pos, first_pos in self.dup_checks:
+            if fact_args[pos] != fact_args[first_pos]:
+                return None
+        new = dict(bindings)
+        for pos, name in self.bind_specs:
+            new[name] = fact_args[pos]
+        for pos, expr_fn in self.residual_exprs:
+            if expr_fn(new, functions) != fact_args[pos]:
+                return None
+        return new
+
+    def __repr__(self) -> str:
+        return (
+            f"LiteralStep({self.literal!r}, lookup={self.positions}, "
+            f"binds={[n for _p, n in self.bind_specs]})"
+        )
+
+
+class AssignStep:
+    """Compiled ``var := expr`` body item (expression pre-compiled to a
+    closure)."""
+
+    __slots__ = ("name", "expr", "fn")
+
+    def __init__(self, name: str, expr: Term):
+        self.name = name
+        self.expr = expr
+        self.fn = compile_term(expr)
+
+    def __repr__(self) -> str:
+        return f"AssignStep({self.name} := {self.expr!r})"
+
+
+class CondStep:
+    """Compiled boolean condition body item (expression pre-compiled to
+    a closure)."""
+
+    __slots__ = ("expr", "fn")
+
+    def __init__(self, expr: Term):
+        self.expr = expr
+        self.fn = compile_term(expr)
+
+    def __repr__(self) -> str:
+        return f"CondStep({self.expr!r})"
+
+
+class JoinPlan:
+    """A compiled evaluation order plus per-step metadata for one rule,
+    optionally relative to a driving literal (one strand).
+
+    ``order`` records the body indexes of the literals in evaluation
+    order (driver excluded); ``steps`` interleaves
+    :class:`LiteralStep`, :class:`AssignStep` and :class:`CondStep`.
+    ``executor`` is the step chain compiled into nested generator
+    closures -- evaluation never dispatches on step types at runtime.
+    """
+
+    __slots__ = ("crule", "driver_index", "order", "steps", "executor")
+
+    def __init__(self, crule: CompiledRule, driver_index: Optional[int],
+                 order: Tuple[int, ...], steps: Tuple):
+        self.crule = crule
+        self.driver_index = driver_index
+        self.order = order
+        self.steps = steps
+        self.executor = _compile_executor(steps)
+
+    def bind(self, sources: Dict[int, object]) -> Callable:
+        """Compile an executor with ``sources`` pinned into the closures
+        (PSN strands join against fixed tables, so the per-call source
+        dict lookup -- and for tables even the index lookup method --
+        can be resolved once, here).  The returned callable has the same
+        signature as ``executor``; its ``sources`` argument is ignored.
+        """
+        return _compile_executor(self.steps, static_sources=sources)
+
+    def literal_steps(self) -> List[LiteralStep]:
+        return [s for s in self.steps if isinstance(s, LiteralStep)]
+
+    def index_requests(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """The ``(pred, positions)`` hash indexes this plan probes --
+        pre-registered on the tables at engine construction so the
+        first delta does not pay the index-build cost."""
+        return [
+            (step.literal.pred, step.positions)
+            for step in self.literal_steps()
+            if step.positions
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinPlan({self.crule.label}, driver={self.driver_index}, "
+            f"order={self.order})"
+        )
+
+
+def compile_driver_step(crule: CompiledRule, driver_index: int) -> LiteralStep:
+    """The matcher that seeds a strand's bindings from its driving fact
+    (no prefix bound: constants check, variables bind positionally)."""
+    return LiteralStep(crule.body[driver_index], driver_index, frozenset())
+
+
+def compile_plan(
+    crule: CompiledRule,
+    driver_index: Optional[int] = None,
+    lead_index: Optional[int] = None,
+    stats=None,
+) -> JoinPlan:
+    """Compile a join plan for ``crule``.
+
+    ``driver_index`` marks a strand's driving literal: it is *skipped*
+    (its bindings arrive pre-seeded) and its variables start out bound.
+    ``lead_index`` instead forces a literal to be evaluated first while
+    still scanning its source (the semi-naive engines lead with the
+    delta literal).  Remaining literals are ordered greedily --
+    bound-ness first, then estimated selectivity (``stats``), via
+    :func:`repro.planner.reorder.choose_next_literal`.  Assignments and
+    conditions run at the earliest point their inputs are bound,
+    preserving their original relative order.
+
+    One deliberate divergence from the interpreted path: planned
+    bodies are evaluated under their *declarative* reading (conjuncts
+    commute), so an assignment or condition written before the literal
+    that binds its inputs simply waits for that literal.  The
+    interpreted path evaluates strictly left to right and raises
+    ``EvaluationError`` on such bodies.  Items whose inputs never
+    become bound still raise, exactly like the interpreter.
+    """
+    if driver_index is not None and lead_index is not None:
+        raise PlanError("driver_index and lead_index are mutually exclusive")
+
+    bound: set = set()
+    if driver_index is not None:
+        bound |= set(crule.body[driver_index].variables())
+    driver_literal = (
+        crule.body[driver_index] if driver_index is not None else None
+    )
+
+    steps: List[object] = []
+    pending: List[object] = [
+        item for item in crule.body if not isinstance(item, Literal)
+    ]
+
+    def place_pending() -> None:
+        progress = True
+        while progress:
+            progress = False
+            for item in list(pending):
+                if isinstance(item, Assignment):
+                    if item.expr.variables() <= bound:
+                        steps.append(AssignStep(item.var.name, item.expr))
+                        bound.add(item.var.name)
+                        pending.remove(item)
+                        progress = True
+                elif isinstance(item, Condition):
+                    if item.variables() <= bound:
+                        steps.append(CondStep(item.expr))
+                        pending.remove(item)
+                        progress = True
+                else:
+                    raise PlanError(f"unsupported body item {item!r}")
+
+    place_pending()
+
+    remaining = [
+        (index, crule.body[index])
+        for index in crule.literal_indexes
+        if index != driver_index
+    ]
+    order: List[int] = []
+    forced = lead_index
+    if forced is not None and all(e[0] != forced for e in remaining):
+        raise PlanError(
+            f"lead_index {forced} is not a body literal of {crule.label}"
+        )
+    while remaining:
+        if forced is not None:
+            entry = next(e for e in remaining if e[0] == forced)
+            forced = None
+        else:
+            entry = choose_next_literal(remaining, bound, stats)
+        remaining.remove(entry)
+        body_index, literal = entry
+        exclude = (
+            driver_literal is not None
+            and body_index < driver_index
+            and literal.pred == driver_literal.pred
+        )
+        steps.append(
+            LiteralStep(literal, body_index, frozenset(bound),
+                        exclude_driver=exclude)
+        )
+        bound |= literal.variables()
+        place_pending()
+        order.append(body_index)
+
+    # Items whose inputs never become bound keep their original order at
+    # the end (they raise at runtime, exactly like the interpreter).
+    for item in pending:
+        if isinstance(item, Assignment):
+            steps.append(AssignStep(item.var.name, item.expr))
+        else:
+            steps.append(CondStep(item.expr))
+
+    return JoinPlan(crule, driver_index, tuple(order), tuple(steps))
+
+
+def execute_plan(
+    plan: JoinPlan,
+    sources: Dict[int, object],
+    functions: Dict[str, Callable],
+    bindings: Optional[Dict[str, object]] = None,
+    skip_fact=None,
+    ts_limit: Optional[int] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield every satisfying assignment of the plan's rule body.
+
+    The planned counterpart of :func:`solve`: ``sources`` still maps
+    body-item index to source, so engines build them identically for
+    both paths.  ``skip_fact`` is the strand's driving fact (excluded
+    from the steps flagged ``exclude_driver``); ``ts_limit`` restricts
+    every literal to facts stamped ``<= ts_limit``.
+
+    Yielded binding dicts may be shared between solutions when a step
+    binds no new variables; callers must treat them as read-only.
+    """
+    return plan.executor(
+        bindings if bindings is not None else {},
+        sources, functions, skip_fact, ts_limit,
+    )
+
+
+def rule_solutions(
+    crule: CompiledRule,
+    sources: Dict[int, object],
+    functions: Dict[str, Callable],
+    plan: Optional[JoinPlan],
+) -> Iterator[Dict[str, object]]:
+    """Body solutions through the plan when one is given, else through
+    the interpreter -- the shared dispatch for the set-oriented engines
+    (``use_plans`` toggling)."""
+    if plan is not None:
+        return execute_plan(plan, sources, functions)
+    return solve(crule, sources, functions)
+
+
+def rule_head(
+    crule: CompiledRule,
+    bindings: Dict[str, object],
+    functions: Dict[str, Callable],
+    plan: Optional[JoinPlan],
+) -> Tuple:
+    """Head tuple via the compiled template (planned) or the
+    interpreter (unplanned); counterpart of :func:`rule_solutions`."""
+    if plan is not None:
+        return crule.instantiate(bindings, functions)
+    return instantiate_head(crule, bindings, functions)
+
+
+def _yield_solution(bindings, sources, functions, skip_fact, ts_limit):
+    yield bindings
+
+
+def _compile_executor(steps: Tuple, static_sources=None) -> Callable:
+    """Fold the step tuple (right to left) into one generator closure
+    per step, each capturing its metadata as locals and calling the
+    next step's closure directly -- no step-type dispatch, no tuple
+    indexing, no attribute lookups in the hot loop.
+
+    With ``static_sources`` (body index -> source, fixed for the
+    executor's lifetime) each literal's source -- and for tables the
+    live index dict itself -- is captured at compile time.
+    """
+    follow = _yield_solution
+    for step in reversed(steps):
+        if isinstance(step, LiteralStep):
+            if static_sources is not None:
+                source = static_sources.get(step.body_index, EMPTY_SOURCE)
+                follow = _bound_literal_runner(step, follow, source)
+            else:
+                follow = _literal_runner(step, follow)
+        elif isinstance(step, AssignStep):
+            follow = _assign_runner(step, follow)
+        elif isinstance(step, CondStep):
+            follow = _cond_runner(step, follow)
+        else:
+            raise PlanError(f"unsupported plan step {step!r}")
+    return follow
+
+
+def _empty_runner(bindings, sources, functions, skip_fact, ts_limit):
+    return iter(())
+
+
+def _bound_literal_runner(step: LiteralStep, follow: Callable,
+                          source) -> Callable:
+    """Like :func:`_literal_runner` but with the source pinned; for
+    table sources the candidate rows come straight out of the captured
+    live index dict, with no per-row arity checks (the table enforces
+    arity on insert)."""
+    positions = step.positions
+    values_fn = step.values_fn
+    arity = step.arity
+    dup_checks = step.dup_checks or None
+    bind_specs = step.bind_specs or None
+    residual = step.residual_exprs or None
+    exclude_driver = step.exclude_driver
+
+    table_arity = getattr(source, "arity", None)
+    if table_arity is not None and table_arity != arity:
+        # The literal can never match this relation's tuples.
+        return _empty_runner
+
+    index_for = getattr(source, "index_for", None)
+    if (index_for is not None and dup_checks is None and residual is None
+            and not exclude_driver and bind_specs is not None):
+        if positions:
+            index = index_for(positions)
+
+            def run_indexed(bindings, sources, functions, skip_fact,
+                            ts_limit):
+                rows = index.get(values_fn(bindings, functions))
+                if rows is None:
+                    return
+                if ts_limit is None:
+                    for fact_args in rows:
+                        extended = dict(bindings)
+                        for pos, name in bind_specs:
+                            extended[name] = fact_args[pos]
+                        yield from follow(extended, sources, functions,
+                                          skip_fact, ts_limit)
+                else:
+                    ts = source.ts
+                    for fact_args in rows:
+                        if ts(fact_args) > ts_limit:
+                            continue
+                        extended = dict(bindings)
+                        for pos, name in bind_specs:
+                            extended[name] = fact_args[pos]
+                        yield from follow(extended, sources, functions,
+                                          skip_fact, ts_limit)
+
+            return run_indexed
+
+        rows_view = source.rows_view()
+
+        def run_scan(bindings, sources, functions, skip_fact, ts_limit):
+            if ts_limit is None:
+                for fact_args in rows_view:
+                    extended = dict(bindings)
+                    for pos, name in bind_specs:
+                        extended[name] = fact_args[pos]
+                    yield from follow(extended, sources, functions,
+                                      skip_fact, ts_limit)
+            else:
+                ts = source.ts
+                for fact_args in rows_view:
+                    if ts(fact_args) > ts_limit:
+                        continue
+                    extended = dict(bindings)
+                    for pos, name in bind_specs:
+                        extended[name] = fact_args[pos]
+                    yield from follow(extended, sources, functions,
+                                      skip_fact, ts_limit)
+
+        return run_scan
+
+    lookup = source.lookup
+    skip_arity_check = table_arity is not None
+
+    def run(bindings, sources, functions, skip_fact, ts_limit):
+        rows = lookup(positions, values_fn(bindings, functions))
+        exclude = (
+            skip_fact.args
+            if (exclude_driver and skip_fact is not None)
+            else None
+        )
+        for fact_args in rows:
+            if not skip_arity_check and len(fact_args) != arity:
+                continue
+            if fact_args == exclude:
+                continue
+            if dup_checks:
+                ok = True
+                for pos, first_pos in dup_checks:
+                    if fact_args[pos] != fact_args[first_pos]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            if ts_limit is not None and source.ts(fact_args) > ts_limit:
+                continue
+            if bind_specs:
+                extended = dict(bindings)
+                for pos, name in bind_specs:
+                    extended[name] = fact_args[pos]
+            else:
+                extended = bindings
+            if residual:
+                ok = True
+                for pos, expr_fn in residual:
+                    if expr_fn(extended, functions) != fact_args[pos]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            yield from follow(extended, sources, functions, skip_fact,
+                              ts_limit)
+
+    return run
+
+
+def _literal_runner(step: LiteralStep, follow: Callable) -> Callable:
+    body_index = step.body_index
+    positions = step.positions
+    values_fn = step.values_fn
+    arity = step.arity
+    dup_checks = step.dup_checks or None
+    bind_specs = step.bind_specs or None
+    residual = step.residual_exprs or None
+    exclude_driver = step.exclude_driver
+
+    if (dup_checks is None and residual is None and not exclude_driver
+            and bind_specs is not None):
+        # The overwhelmingly common shape: fresh variables to bind, no
+        # self-join exclusion, no in-literal checks -- a tight loop.
+        def run_fast(bindings, sources, functions, skip_fact, ts_limit):
+            source = sources.get(body_index, EMPTY_SOURCE)
+            rows = source.lookup(positions, values_fn(bindings, functions))
+            if ts_limit is None:
+                for fact_args in rows:
+                    if len(fact_args) != arity:
+                        continue
+                    extended = dict(bindings)
+                    for pos, name in bind_specs:
+                        extended[name] = fact_args[pos]
+                    yield from follow(extended, sources, functions,
+                                      skip_fact, ts_limit)
+            else:
+                for fact_args in rows:
+                    if len(fact_args) != arity:
+                        continue
+                    if source.ts(fact_args) > ts_limit:
+                        continue
+                    extended = dict(bindings)
+                    for pos, name in bind_specs:
+                        extended[name] = fact_args[pos]
+                    yield from follow(extended, sources, functions,
+                                      skip_fact, ts_limit)
+
+        return run_fast
+
+    def run(bindings, sources, functions, skip_fact, ts_limit):
+        source = sources.get(body_index, EMPTY_SOURCE)
+        rows = source.lookup(positions, values_fn(bindings, functions))
+        exclude = (
+            skip_fact.args
+            if (exclude_driver and skip_fact is not None)
+            else None
+        )
+        for fact_args in rows:
+            if len(fact_args) != arity:
+                continue
+            if fact_args == exclude:
+                continue
+            if dup_checks:
+                ok = True
+                for pos, first_pos in dup_checks:
+                    if fact_args[pos] != fact_args[first_pos]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            if ts_limit is not None and source.ts(fact_args) > ts_limit:
+                continue
+            if bind_specs:
+                extended = dict(bindings)
+                for pos, name in bind_specs:
+                    extended[name] = fact_args[pos]
+            else:
+                extended = bindings
+            if residual:
+                ok = True
+                for pos, expr_fn in residual:
+                    if expr_fn(extended, functions) != fact_args[pos]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            yield from follow(extended, sources, functions, skip_fact,
+                              ts_limit)
+
+    return run
+
+
+def _assign_runner(step: AssignStep, follow: Callable) -> Callable:
+    name = step.name
+    fn = step.fn
+
+    def run(bindings, sources, functions, skip_fact, ts_limit):
+        value = fn(bindings, functions)
+        current = bindings.get(name, _MISSING)
+        if current is _MISSING:
+            extended = dict(bindings)
+            extended[name] = value
+            yield from follow(extended, sources, functions, skip_fact,
+                              ts_limit)
+        elif current == value:
+            yield from follow(bindings, sources, functions, skip_fact,
+                              ts_limit)
+
+    return run
+
+
+def _cond_runner(step: CondStep, follow: Callable) -> Callable:
+    fn = step.fn
+
+    def run(bindings, sources, functions, skip_fact, ts_limit):
+        if fn(bindings, functions):
+            yield from follow(bindings, sources, functions, skip_fact,
+                              ts_limit)
+
+    return run
 
 
 # ----------------------------------------------------------------------

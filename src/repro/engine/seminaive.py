@@ -12,6 +12,13 @@ before the previous iteration, the delta position ranges over the
 previous iteration's new tuples, and literals *after* it range over
 everything so far -- which "avoids redundant inferences within each
 iteration".
+
+With ``use_plans=True`` (the default) one join plan is compiled per
+``(rule, delta_position)`` pair -- leading with the delta literal, by
+far the smallest source -- and reused across iterations; the source
+partitioning above is unchanged (each literal still reads from its
+old/delta/full source by original body position, whatever order the
+plan joins them in).
 """
 
 from __future__ import annotations
@@ -22,9 +29,16 @@ from repro.errors import EvaluationError
 from repro.engine.aggregates import AggregateView
 from repro.engine.database import Database
 from repro.engine.fixpoint import EvalResult, load_program_facts
-from repro.engine.rules import CompiledRule, SetSource, instantiate_head, solve
+from repro.engine.rules import (
+    CompiledRule,
+    SetSource,
+    compile_plan,
+    rule_head as _head_of,
+    rule_solutions as _solutions,
+)
 from repro.engine.stratify import Stratum, stratify
 from repro.ndlog.ast import Program
+from repro.opt.costbased import StatsCatalog
 
 DEFAULT_MAX_ITERATIONS = 10_000
 
@@ -33,6 +47,7 @@ def evaluate(
     program: Program,
     db: Optional[Database] = None,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    use_plans: bool = True,
 ) -> EvalResult:
     if db is None:
         db = Database.for_program(program)
@@ -40,7 +55,8 @@ def evaluate(
     result = EvalResult(db=db)
 
     for stratum in stratify(program):
-        _evaluate_stratum(program, db, stratum, result, max_iterations)
+        _evaluate_stratum(program, db, stratum, result, max_iterations,
+                          use_plans)
     return result
 
 
@@ -50,6 +66,7 @@ def _evaluate_stratum(
     stratum: Stratum,
     result: EvalResult,
     max_iterations: int,
+    use_plans: bool = True,
 ) -> None:
     compiled = [CompiledRule(rule) for rule in stratum.rules]
     plain = [c for c in compiled
@@ -57,6 +74,24 @@ def _evaluate_stratum(
     aggregated = [c for c in compiled if c.aggregate is not None]
     argmins = [c for c in compiled if c.argmin is not None]
     recursive_preds = stratum.preds
+
+    stats = StatsCatalog.from_database(db) if use_plans else None
+
+    def make_plan(crule, lead_index=None):
+        if not use_plans:
+            return None
+        plan = compile_plan(crule, lead_index=lead_index, stats=stats)
+        # Pre-register the probed indexes on the stored tables; the
+        # per-iteration delta/old SetSources index themselves lazily.
+        for pred, positions in plan.index_requests():
+            if pred in db.tables:
+                db.table(pred).register_index(positions)
+        return plan
+
+    #: Full-table plans for the base case, aggregates and argmins.
+    base_plans = {id(c): make_plan(c) for c in compiled}
+    #: (rule id, delta position) -> plan leading with the delta literal.
+    delta_plans: Dict[Tuple[int, int], object] = {}
 
     # ------------------------------------------------------------------
     # Base case: "execute all the rules to generate the initial pk tuples,
@@ -80,9 +115,10 @@ def _evaluate_stratum(
             index: db.table(crule.body[index].pred)
             for index in crule.literal_indexes
         }
-        for bindings in solve(crule, rule_sources, db.functions):
+        plan = base_plans[id(crule)]
+        for bindings in _solutions(crule, rule_sources, db.functions, plan):
             result.inferences += 1
-            head = instantiate_head(crule, bindings, db.functions)
+            head = _head_of(crule, bindings, db.functions, plan)
             if head not in table and head not in buffers[crule.head.pred]:
                 buffers[crule.head.pred].add(head)
 
@@ -133,9 +169,17 @@ def _evaluate_stratum(
                         rule_sources[index] = delta_sources[pred]
                     else:
                         rule_sources[index] = db.table(pred)
-                for bindings in solve(crule, rule_sources, db.functions):
+                plan = None
+                if use_plans:
+                    plan_key = (id(crule), delta_position)
+                    plan = delta_plans.get(plan_key)
+                    if plan is None:
+                        plan = make_plan(crule, lead_index=delta_position)
+                        delta_plans[plan_key] = plan
+                for bindings in _solutions(crule, rule_sources,
+                                           db.functions, plan):
                     result.inferences += 1
-                    head = instantiate_head(crule, bindings, db.functions)
+                    head = _head_of(crule, bindings, db.functions, plan)
                     if head not in table and head not in buffers[head_pred]:
                         buffers[head_pred].add(head)
 
@@ -152,9 +196,10 @@ def _evaluate_stratum(
             index: db.table(crule.body[index].pred)
             for index in crule.literal_indexes
         }
-        for bindings in solve(crule, rule_sources, db.functions):
+        plan = base_plans[id(crule)]
+        for bindings in _solutions(crule, rule_sources, db.functions, plan):
             result.inferences += 1
-            contribution = instantiate_head(crule, bindings, db.functions)
+            contribution = _head_of(crule, bindings, db.functions, plan)
             view.apply(contribution, 1)
         table = db.table(crule.head.pred)
         for head in view.current_rows():
@@ -164,4 +209,4 @@ def _evaluate_stratum(
     from repro.engine.naive import _materialize_argmin
 
     for crule in argmins:
-        _materialize_argmin(db, crule, result)
+        _materialize_argmin(db, crule, result, plan=base_plans[id(crule)])

@@ -102,7 +102,16 @@ class Table:
                 f"table {self.name!r}: arity {self.arity} but got {args!r}"
             )
         if args in self._counts:
+            # Duplicate derivation: bump the count *and* refresh the
+            # timestamp -- a re-inserted fact is a refresh (Section 4.2:
+            # soft-state facts "must be explicitly reinserted ... with a
+            # new TTL"), and ``ts_limit`` consumers must see the latest
+            # (re-)insertion time.  Refreshes only move forward: callers
+            # that omit ``ts`` (default 0) must not rewind an existing
+            # stamp (use :meth:`restamp` for forced reassignment).
             self._counts[args] += count
+            if ts > self._ts.get(args, -1):
+                self._ts[args] = ts
             return []
         deltas: List[Tuple[int, Tuple]] = []
         key = self.key_of(args)
@@ -176,6 +185,43 @@ class Table:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def index_for(self, positions: Tuple[int, ...]) -> Dict[Tuple, Set[Tuple]]:
+        """The live index dict on ``positions``, built if needed.
+
+        The returned object is stable for the table's lifetime (inserts
+        and removals mutate it in place, :meth:`clear` empties it), so
+        compiled join plans may capture it directly.
+        """
+        positions = tuple(positions)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._build_index(positions)
+        return index
+
+    def rows_view(self):
+        """Live view of the stored tuples (do not mutate the table while
+        iterating it)."""
+        return self._rows.values()
+
+    def register_index(self, positions: Tuple[int, ...]) -> None:
+        """Eagerly build (and from then on maintain) the hash index on
+        ``positions``.  Compiled join plans pre-register every index
+        they probe at engine construction, so the first delta does not
+        pay the index-build cost mid-flight."""
+        positions = tuple(positions)
+        if not positions or positions in self._indexes:
+            return
+        self._build_index(positions)
+
+    def _build_index(self, positions: Tuple[int, ...]) -> Dict[Tuple, Set[Tuple]]:
+        index: Dict[Tuple, Set[Tuple]] = {}
+        for args in self._rows.values():
+            index.setdefault(
+                tuple(args[i] for i in positions), set()
+            ).add(args)
+        self._indexes[positions] = index
+        return index
+
     def lookup(self, positions: Tuple[int, ...], values: Tuple) -> Iterable[Tuple]:
         """All tuples whose ``positions`` equal ``values``.
 
@@ -185,10 +231,5 @@ class Table:
             return self._rows.values()
         index = self._indexes.get(positions)
         if index is None:
-            index = {}
-            for args in self._rows.values():
-                index.setdefault(
-                    tuple(args[i] for i in positions), set()
-                ).add(args)
-            self._indexes[positions] = index
+            index = self._build_index(positions)
         return index.get(values, ())

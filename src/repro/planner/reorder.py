@@ -1,4 +1,4 @@
-"""Predicate reordering (Section 5.1.2).
+"""Predicate reordering (Section 5.1.2) and greedy join ordering.
 
 "Interestingly, switching the search strategy can be done simply by
 reordering the path and #link predicates.  This has the effect of
@@ -8,15 +8,26 @@ Reordering never changes Datalog semantics (body conjuncts commute); in
 the distributed setting it flips which endpoint initiates propagation --
 Bottom-Up (paths flow backwards from destinations) versus Top-Down
 (paths flow forward from sources, resembling dynamic source routing).
+
+:func:`choose_next_literal` is the ordering policy behind the compiled
+join plans of :mod:`repro.engine.rules`: given the variables already
+bound (e.g. by a strand's driving tuple), pick the most-bound literal,
+ties broken by estimated candidate count from a
+:class:`repro.opt.costbased.StatsCatalog`-style statistics object.
+``compile_plan`` drives it step by step (interleaving assignment and
+condition placement, which can bind further variables between picks);
+:func:`greedy_join_order` is the one-shot wrapper for ordering a plain
+literal list.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlanError
 from repro.ndlog.ast import Assignment, Condition, Literal, Program, Rule
+from repro.ndlog.terms import Constant, Variable
 
 
 def reorder_body(rule: Rule, literal_order: Sequence[int]) -> Rule:
@@ -52,6 +63,78 @@ def reorder_body(rule: Rule, literal_order: Sequence[int]) -> Rule:
     if pending:
         body.extend(pending)  # uninstantiable items keep original order
     return replace(rule, body=tuple(body))
+
+
+def bound_positions(literal: Literal, bound: Set[str]) -> int:
+    """How many argument positions of ``literal`` an indexed lookup can
+    consume given the variables in ``bound``: constants, variables
+    already bound, and expressions whose inputs are all bound."""
+    count = 0
+    for term in literal.args:
+        if isinstance(term, Constant):
+            count += 1
+        elif isinstance(term, Variable):
+            if term.name in bound:
+                count += 1
+        elif term.variables() <= bound:
+            count += 1
+    return count
+
+
+def choose_next_literal(
+    candidates: Sequence[Tuple[int, Literal]],
+    bound: Set[str],
+    stats=None,
+) -> Tuple[int, Literal]:
+    """Greedy pick for join ordering among ``(body_index, literal)``
+    candidates: highest bound fraction first (bound-ness), then lowest
+    estimated candidate count (selectivity), then original body order.
+
+    ``stats`` is any object with ``estimated_candidates(pred, arity,
+    bound_count)`` (see :class:`repro.opt.costbased.StatsCatalog`).
+    """
+    def key(entry):
+        body_index, literal = entry
+        arity = len(literal.args) or 1
+        n_bound = bound_positions(literal, bound)
+        if stats is not None:
+            est = stats.estimated_candidates(literal.pred, arity, n_bound)
+        else:
+            est = 0.0
+        return (-(n_bound / arity), est, body_index)
+
+    return min(candidates, key=key)
+
+
+def greedy_join_order(
+    literals: Sequence[Tuple[int, Literal]],
+    initial_bound: Set[str],
+    stats=None,
+    lead: Optional[int] = None,
+) -> List[int]:
+    """Full evaluation order over ``(body_index, literal)`` pairs, by
+    repeated :func:`choose_next_literal` picks.
+
+    ``lead`` forces one body index to run first (semi-naive engines put
+    the delta literal up front -- it is by far the smallest source).
+    Returns body indexes in evaluation order.
+    """
+    bound = set(initial_bound)
+    remaining = list(literals)
+    order: List[int] = []
+    if lead is not None:
+        for entry in remaining:
+            if entry[0] == lead:
+                order.append(entry[0])
+                bound |= entry[1].variables()
+                remaining.remove(entry)
+                break
+    while remaining:
+        body_index, literal = choose_next_literal(remaining, bound, stats)
+        order.append(body_index)
+        bound |= literal.variables()
+        remaining.remove((body_index, literal))
+    return order
 
 
 def swap_recursive_to_left(rule: Rule, recursive_pred: str) -> Rule:

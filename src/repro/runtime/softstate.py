@@ -32,9 +32,15 @@ class SoftStateManager:
         self.expiries: Dict[Tuple[str, str, Tuple], float] = {}
         self.expired_count = 0
         self._installed = False
+        if not cluster.nodes:
+            raise ValueError(
+                "SoftStateManager needs a cluster with at least one node "
+                "(no node runtimes to read table lifetimes from)"
+            )
+        any_node = next(iter(cluster.nodes.values()))
         self._lifetimes: Dict[str, float] = {
             pred: table.lifetime
-            for pred, table in next(iter(cluster.nodes.values())).db.tables.items()
+            for pred, table in any_node.db.tables.items()
             if table.lifetime != INFINITY
         }
 

@@ -169,6 +169,51 @@ def test_psn_incremental_insert_equals_batch():
     assert frozenset(engine.db.table("tc").rows()) == batch.rows("tc")
 
 
+def test_psn_max_steps_limit_is_exact():
+    """Regression: the step guard used to fire only after processing
+    ``max_steps + 1`` deltas.  Exactly ``max_steps`` deltas may be
+    processed; one more must raise."""
+    edges = [(f"n{i}", f"n{i+1}") for i in range(4)]
+    program = transitive_closure()
+    engine = PSNEngine(program)
+    for edge in edges:
+        engine.insert("edge", edge)
+    needed = engine.run()  # drains fine with the default generous limit
+
+    engine = PSNEngine(program)
+    for edge in edges:
+        engine.insert("edge", edge)
+    assert engine.run(max_steps=needed) == needed  # exact budget passes
+
+    engine = PSNEngine(program)
+    for edge in edges:
+        engine.insert("edge", edge)
+    with pytest.raises(EvaluationError):
+        engine.run(max_steps=needed - 1)
+
+
+def test_bsn_max_steps_limit_is_exact():
+    """BSN clips batches so at most ``max_steps`` deltas are processed."""
+    edges = [(f"n{i}", f"n{i+1}") for i in range(4)]
+    program = transitive_closure()
+    engine = BSNEngine(program)
+    for edge in edges:
+        engine.insert("edge", edge)
+    needed = engine.run()
+
+    engine = BSNEngine(program)
+    for edge in edges:
+        engine.insert("edge", edge)
+    assert engine.run(max_steps=needed) == needed
+
+    engine = BSNEngine(program)
+    for edge in edges:
+        engine.insert("edge", edge)
+    with pytest.raises(EvaluationError):
+        engine.run(max_steps=needed - 1)
+    assert engine.steps == needed - 1  # nothing beyond the budget ran
+
+
 def test_recursive_aggregate_rejected_by_set_engines():
     program = parse(
         """

@@ -5,6 +5,8 @@ in benchmarks/)."""
 
 import pytest
 
+pytestmark = pytest.mark.slow  # multi-minute sims; run with `pytest -m slow`
+
 from repro.experiments import fig7_8, fig9_10, fig11, fig12, fig13_14
 from repro.experiments.common import (
     Scale,

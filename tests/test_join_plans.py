@@ -1,0 +1,391 @@
+"""The compiled join-plan layer (``repro.engine.rules``): plan compiler
+unit tests, planned-vs-interpreted equivalence at the rule level, and
+the cross-engine property that planned and unplanned evaluation compute
+identical fixpoints (with identical inference counts -- planning must
+not change *what* fires, only how fast)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import Database, bsn, naive, psn, seminaive
+from repro.engine.psn import PSNEngine
+from repro.engine.rules import (
+    AssignStep,
+    CompiledRule,
+    CondStep,
+    LiteralStep,
+    SetSource,
+    compile_driver_step,
+    compile_plan,
+    execute_plan,
+    solve,
+)
+from repro.engine.table import Table
+from repro.errors import PlanError
+from repro.ndlog import parse, programs
+from repro.ndlog.functions import default_functions
+from repro.opt.costbased import StatsCatalog
+from repro.planner.reorder import bound_positions, greedy_join_order
+
+ENGINES = (naive, seminaive, bsn, psn)
+
+
+def rule_of(text):
+    return parse(text).rules[0]
+
+
+# ----------------------------------------------------------------------
+# Plan compiler units
+# ----------------------------------------------------------------------
+def test_literal_step_classification():
+    crule = CompiledRule(rule_of(
+        "R: out(@A, B) :- p(@A, B, c1, A, B + 1)."
+    ))
+    # No prefix bound: A and B bind, the constant is a lookup, the
+    # repeated A is a positional check, B + 1 is a residual expression.
+    step = LiteralStep(crule.body[0], 0, frozenset())
+    assert step.positions == (2,)            # the constant c1
+    assert step.static_values == ("c1",)
+    assert [name for _pos, name in step.bind_specs] == ["A", "B"]
+    assert step.dup_checks == ((3, 0),)      # position 3 must equal 0
+    assert [pos for pos, _fn in step.residual_exprs] == [4]
+
+    # With A and B prefix-bound everything becomes an index lookup.
+    step = LiteralStep(crule.body[0], 0, frozenset({"A", "B"}))
+    assert step.positions == (0, 1, 2, 3, 4)
+    assert step.bind_specs == ()
+    assert step.dup_checks == ()
+    assert step.residual_exprs == ()
+
+
+def test_driver_step_fast_path_and_mismatch():
+    crule = CompiledRule(rule_of("R: out(@A, C) :- p(@A, B, C)."))
+    step = compile_driver_step(crule, 0)
+    assert step.fast_bind == ("A", "B", "C")
+    assert step.match(("x", "y", 3), {}, {}) == {"A": "x", "B": "y", "C": 3}
+    assert step.match(("x", "y"), {}, {}) is None  # arity mismatch
+
+    crule = CompiledRule(rule_of("R: out(@A) :- p(@A, A, c7)."))
+    step = compile_driver_step(crule, 0)
+    assert step.fast_bind is None
+    assert step.match(("x", "x", "c7"), {}, {}) == {"A": "x"}
+    assert step.match(("x", "y", "c7"), {}, {}) is None   # dup check
+    assert step.match(("x", "x", "c8"), {}, {}) is None   # constant
+
+
+def test_strand_plan_orders_bound_literal_first():
+    # Driven by q (binding B), the r literal shares B while s shares
+    # nothing -- the plan must join r before s regardless of body order.
+    crule = CompiledRule(rule_of(
+        "R: out(@A, D) :- q(@A, B), s(@C, D), r(@B, C)."
+    ))
+    plan = compile_plan(crule, driver_index=0)
+    assert plan.order == (2, 1)  # r (body index 2) before s (body index 1)
+
+
+def test_plan_respects_selectivity_stats():
+    crule = CompiledRule(rule_of(
+        "R: out(@A) :- big(@A, B), small(@A, C)."
+    ))
+    stats = StatsCatalog({"big": 10_000.0, "small": 10.0})
+    plan = compile_plan(crule, stats=stats)
+    assert plan.order[0] == 1  # small first
+
+
+def test_lead_index_forces_delta_literal_first():
+    crule = CompiledRule(rule_of(
+        "T2: tc(X, Z) :- edge(X, Y), tc(Y, Z)."
+    ))
+    plan = compile_plan(crule, lead_index=1)
+    assert plan.order == (1, 0)
+
+
+def test_driver_and_lead_are_mutually_exclusive():
+    crule = CompiledRule(rule_of(
+        "T2: tc(X, Z) :- edge(X, Y), tc(Y, Z)."
+    ))
+    with pytest.raises(PlanError):
+        compile_plan(crule, driver_index=0, lead_index=1)
+
+
+def test_conditions_and_assignments_run_at_earliest_bound_point():
+    crule = CompiledRule(rule_of(
+        "R: out(@A, C) :- p(@A, B), q(@B, C), C := B + 1, B != z9."
+    ))
+    plan = compile_plan(crule)
+    kinds = [type(step).__name__ for step in plan.steps]
+    # The guard and the assignment depend only on B, so both run right
+    # after p binds B -- before the q join.
+    assert kinds == ["LiteralStep", "AssignStep", "CondStep", "LiteralStep"]
+
+
+def test_planned_bodies_have_declarative_order_semantics():
+    """An assignment written before the literal that binds its input is
+    legal under plans (conjuncts commute; the assignment waits for the
+    literal), while the strictly left-to-right interpreter rejects it.
+    An assignment whose inputs never bind still raises on both paths."""
+    program = parse("Q: q(A, B) :- B := A + 1, p(A).")
+    db = Database.for_program(program)
+    db.load_facts("p", [(3,)])
+    result = naive.evaluate(program, db, use_plans=True)
+    assert result.rows("q") == frozenset({(3, 4)})
+    from repro.errors import EvaluationError
+    with pytest.raises(EvaluationError):
+        db2 = Database.for_program(program)
+        db2.load_facts("p", [(3,)])
+        naive.evaluate(program, db2, use_plans=False)
+
+    never_bound = parse("Q: q(A, B) :- B := Z + 1, p(A).")
+    for use_plans in (True, False):
+        db3 = Database.for_program(never_bound)
+        db3.load_facts("p", [(3,)])
+        with pytest.raises(EvaluationError):
+            naive.evaluate(never_bound, db3, use_plans=use_plans)
+
+
+def test_index_requests_cover_probed_positions():
+    crule = CompiledRule(rule_of(
+        "T2: tc(X, Z) :- edge(X, Y), tc(Y, Z)."
+    ))
+    plan = compile_plan(crule, driver_index=0)  # driven by edge
+    assert plan.index_requests() == [("tc", (0,))]
+
+
+def test_exclude_driver_marks_preceding_same_pred_literals():
+    crule = CompiledRule(rule_of(
+        "T2: tc(X, Z) :- tc(X, Y), tc(Y, Z)."
+    ))
+    plan = compile_plan(crule, driver_index=1)  # driven by second tc
+    (step,) = plan.literal_steps()
+    assert step.body_index == 0
+    assert step.exclude_driver
+    plan = compile_plan(crule, driver_index=0)  # driven by first tc
+    (step,) = plan.literal_steps()
+    assert not step.exclude_driver
+
+
+def test_table_indexes_preregistered_on_engine_construction():
+    program = programs.transitive_closure()
+    engine = PSNEngine(program)
+    # T2's edge-driven strand probes tc on position 0 (Y bound), and its
+    # tc-driven strand probes edge on position 1 (Y bound).
+    assert (0,) in engine.db.table("tc")._indexes
+    assert (1,) in engine.db.table("edge")._indexes
+
+
+# ----------------------------------------------------------------------
+# execute_plan vs solve
+# ----------------------------------------------------------------------
+def solutions(bindings_iter, head_vars):
+    return sorted(
+        tuple(b[v] for v in head_vars) for b in bindings_iter
+    )
+
+
+def test_execute_plan_matches_solve_on_joins():
+    crule = CompiledRule(rule_of(
+        "R: out(@A, D) :- p(@A, B), q(@B, C), r(@C, D), B != D."
+    ))
+    functions = default_functions()
+    rng = random.Random(5)
+    rows = {
+        0: [(f"a{rng.randrange(4)}", f"b{rng.randrange(4)}") for _ in range(12)],
+        1: [(f"b{rng.randrange(4)}", f"c{rng.randrange(4)}") for _ in range(12)],
+        2: [(f"c{rng.randrange(4)}", f"a{rng.randrange(4)}") for _ in range(12)],
+    }
+    sources = {i: SetSource(r) for i, r in rows.items()}
+    plan = compile_plan(crule)
+    planned = solutions(
+        execute_plan(plan, sources, functions), ("A", "B", "C", "D")
+    )
+    interpreted = solutions(
+        solve(crule, sources, functions), ("A", "B", "C", "D")
+    )
+    assert planned == interpreted
+    assert planned  # non-vacuous
+
+
+def test_execute_plan_skip_fact_matches_solve_self_join():
+    crule = CompiledRule(rule_of(
+        "T2: tc(X, Z) :- tc(X, Y), tc(Y, Z)."
+    ))
+    functions = default_functions()
+    table = Table("tc", 2)
+    for row in [("a", "b"), ("b", "c"), ("c", "a"), ("b", "a")]:
+        table.insert(row)
+
+    class FakeFact:
+        pred = "tc"
+        args = ("b", "c")
+
+    seed_literal = compile_driver_step(crule, 1)
+    seed = seed_literal.match(FakeFact.args, {}, functions)
+    plan = compile_plan(crule, driver_index=1)
+    planned = solutions(
+        execute_plan(plan, {0: table}, functions, bindings=dict(seed),
+                     skip_fact=FakeFact),
+        ("X", "Y", "Z"),
+    )
+    interpreted = solutions(
+        solve(crule, {0: table}, functions, bindings=dict(seed),
+              skip_index=1, skip_fact=FakeFact),
+        ("X", "Y", "Z"),
+    )
+    assert planned == interpreted
+
+
+def test_execute_plan_honors_ts_limit():
+    crule = CompiledRule(rule_of("R: out(X, Y) :- p(X, Y)."))
+    functions = default_functions()
+    table = Table("p", 2)
+    table.insert(("a", "b"), ts=1)
+    table.insert(("c", "d"), ts=5)
+    plan = compile_plan(crule)
+    got = solutions(
+        execute_plan(plan, {0: table}, functions, ts_limit=2), ("X", "Y")
+    )
+    assert got == [("a", "b")]
+
+
+# ----------------------------------------------------------------------
+# Ordering helpers and statistics
+# ----------------------------------------------------------------------
+def test_bound_positions_counts_constants_vars_and_exprs():
+    crule = CompiledRule(rule_of("R: out(@A) :- p(@A, c3, B, A + 1)."))
+    literal = crule.body[0]
+    assert bound_positions(literal, set()) == 1           # just c3
+    assert bound_positions(literal, {"A"}) == 3           # A, c3, A + 1
+    assert bound_positions(literal, {"A", "B"}) == 4
+
+
+def test_greedy_join_order_prefers_bound_then_small():
+    program = parse("R: out(@A) :- big(@B, C), small(@D, E), tied(@A, B).")
+    literals = list(enumerate(program.rules[0].body_literals))
+    stats = StatsCatalog({"big": 1e6, "small": 4.0, "tied": 1e6})
+    # A bound: tied has a bound position, then small (tiny), then big.
+    assert greedy_join_order(literals, {"A"}, stats) == [2, 0, 1]
+
+
+def test_stats_catalog_estimates():
+    stats = StatsCatalog({"p": 100.0}, default_rows=50.0)
+    assert stats.estimated_candidates("p", 2, 0) == 100.0
+    assert stats.estimated_candidates("p", 2, 2) == 1.0
+    assert stats.estimated_candidates("p", 2, 1) == pytest.approx(10.0)
+    assert stats.estimated_candidates("unknown", 1, 0) == 50.0
+
+
+def test_stats_catalog_from_database_skips_empty_tables():
+    program = programs.transitive_closure()
+    db = Database.for_program(program)
+    db.load_facts("edge", [("a", "b"), ("b", "c")])
+    stats = StatsCatalog.from_database(db)
+    assert stats.table_rows("edge") == 2.0
+    assert stats.table_rows("tc") == StatsCatalog.DEFAULT_ROWS
+
+
+# ----------------------------------------------------------------------
+# Property: planned == unplanned on every engine
+# ----------------------------------------------------------------------
+SETTINGS = dict(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+nodes = st.integers(min_value=0, max_value=5).map(lambda i: f"n{i}")
+edges = st.sets(st.tuples(nodes, nodes).filter(lambda e: e[0] != e[1]),
+                min_size=1, max_size=12)
+
+GRAPH_PROGRAMS = (
+    ("edge", programs.transitive_closure),
+    ("edge", programs.transitive_closure_nonlinear),
+)
+
+
+def weighted(edge_set, seed=3):
+    rng = random.Random(seed)
+    rows = []
+    for a, b in sorted(edge_set):
+        cost = rng.randint(1, 9)
+        rows.append((a, b, cost))
+        rows.append((b, a, cost))
+    return rows
+
+
+@given(edge_set=edges)
+@settings(**SETTINGS)
+def test_property_planned_equals_unplanned_tc(edge_set):
+    for pred, builder in GRAPH_PROGRAMS:
+        for module in ENGINES:
+            snapshots = []
+            inference_counts = []
+            for use_plans in (True, False):
+                program = builder()
+                db = Database.for_program(program)
+                db.load_facts(pred, edge_set)
+                result = module.evaluate(program, db, use_plans=use_plans)
+                snapshots.append(result.db.snapshot())
+                inference_counts.append(result.inferences)
+            assert snapshots[0] == snapshots[1], (module.__name__, builder.__name__)
+            assert inference_counts[0] == inference_counts[1]
+
+
+@given(edge_set=edges)
+@settings(**SETTINGS)
+def test_property_planned_equals_unplanned_shortest_path(edge_set):
+    links = weighted(edge_set)
+    for module in ENGINES:
+        snapshots = []
+        for use_plans in (True, False):
+            program = programs.shortest_path_safe()
+            db = Database.for_program(program)
+            db.load_facts("link", links)
+            result = module.evaluate(program, db, use_plans=use_plans)
+            snapshots.append(result.db.snapshot())
+        assert snapshots[0] == snapshots[1], module.__name__
+
+
+@given(edge_set=edges)
+@settings(**SETTINGS)
+def test_property_planned_equals_unplanned_distance_vector(edge_set):
+    links = weighted(edge_set, seed=9)
+    for module in ENGINES:
+        snapshots = []
+        for use_plans in (True, False):
+            program = programs.distance_vector()
+            db = Database.for_program(program)
+            db.load_facts("link", links)
+            result = module.evaluate(program, db, use_plans=use_plans)
+            snapshots.append(result.db.snapshot())
+        assert snapshots[0] == snapshots[1], module.__name__
+
+
+def test_planned_incremental_updates_match_rebuild():
+    """PSN with plans: after a burst of inserts and deletes, the
+    incrementally maintained state equals evaluation from scratch on the
+    final base tables (Theorem 3, now through the planned path)."""
+    rng = random.Random(17)
+    program = programs.transitive_closure()
+    engine = PSNEngine(program)
+    live = set()
+    for _ in range(60):
+        a, b = f"n{rng.randrange(6)}", f"n{rng.randrange(6)}"
+        if a == b:
+            continue
+        if (a, b) in live:
+            if rng.random() < 0.4:
+                engine.delete("edge", (a, b))
+                live.discard((a, b))
+        else:
+            engine.insert("edge", (a, b))
+            live.add((a, b))
+    engine.run()
+
+    fresh = PSNEngine(programs.transitive_closure())
+    for edge in live:
+        fresh.insert("edge", edge)
+    fresh.run()
+    assert (frozenset(engine.db.table("tc").rows())
+            == frozenset(fresh.db.table("tc").rows()))

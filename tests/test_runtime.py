@@ -278,6 +278,16 @@ class TestMagicAndCaching:
 
 
 class TestSoftState:
+    def test_empty_cluster_rejected_with_clear_error(self):
+        """Regression: an empty cluster used to surface as a bare
+        ``StopIteration`` out of the lifetime scan; it must be a clear
+        ``ValueError`` instead."""
+        import types
+
+        empty = types.SimpleNamespace(nodes={})
+        with pytest.raises(ValueError, match="at least one node"):
+            SoftStateManager(empty)
+
     def test_expiry_without_refresh(self):
         overlay = small_overlay(n=8, degree=2, seed=8)
         program = parse(

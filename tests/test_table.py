@@ -113,11 +113,31 @@ def test_timestamps():
     assert t.ts(("a",)) == 9
 
 
-def test_duplicate_insert_keeps_original_ts():
+def test_duplicate_insert_refreshes_ts():
+    """A re-inserted fact is a *refresh* (Section 4.2: soft-state facts
+    "must be explicitly reinserted ... with a new TTL"), so the stored
+    timestamp must track the latest (re-)insertion, not the first."""
     t = Table("p", 1)
     t.insert(("a",), ts=3)
     t.insert(("a",), ts=9)
-    assert t.ts(("a",)) == 3
+    assert t.count(("a",)) == 2
+    assert t.ts(("a",)) == 9
+    # A refresh never rewinds: callers that omit ts (default 0) keep
+    # the newest stamp.
+    t.insert(("a",))
+    assert t.ts(("a",)) == 9
+
+
+def test_duplicate_insert_refresh_visible_to_ts_limit_consumers():
+    """Regression: the stale timestamp made any ``ts_limit`` filter
+    treat a refreshed fact as old, and soft-state refreshes kept the
+    original expiry."""
+    t = Table("p", 2)
+    t.insert(("a", 1), ts=1)
+    t.insert(("b", 2), ts=2)
+    t.insert(("a", 1), ts=5)
+    fresh = [args for args in t.rows() if t.ts(args) > 2]
+    assert fresh == [("a", 1)]
 
 
 def test_arity_checked():

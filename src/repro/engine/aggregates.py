@@ -15,18 +15,77 @@ that retractions only remove a value when its last derivation goes away.
 ``count<*>`` counts derivations (multiplicity included), matching its use
 as a derivation counter.
 
-The implementation recomputes min/max in O(n) on retraction of the
-current best; the O(log n) structure of [27] is a straightforward swap
-(a heap with lazy deletion) that would not change any observable
-behaviour, so we keep the simpler form.
+min/max retraction is the O(log n) structure of [27]: each group keeps a
+heap with *lazy deletion* -- retractions never touch the heap, and
+reads pop stale entries off the top until a live value surfaces.  The
+same structure backs :class:`ArgExtremeView`'s witness promotion, with a
+total-order tie-break key (:func:`order_key`) making the promoted
+witness deterministic for values whose natural ordering admits ties.
+
+Both views also expose :meth:`apply_many`, the batched entry point used
+by the engines' micro-batched commit path (``batch_size > 1``): a chunk
+of contributions is applied in order and only the *net* change to each
+emitted head is returned, so a burst that moves a group's value several
+times costs one retraction and one insertion downstream instead of a
+churn of intermediate pairs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import EvaluationError
 from repro.engine.rules import AggregateInfo
+from repro.ndlog.terms import ConstructedTuple
+
+#: Rebuild a lazy-deletion heap when stale entries outnumber live ones
+#: beyond this slack (bounds memory without amortized-cost cliffs).
+_COMPACT_SLACK = 16
+
+
+class _Rev:
+    """Inverts the ordering of a wrapped key, turning heapq's min-heaps
+    into max-heaps without assuming the values are negatable."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other) -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other) -> bool:
+        return other.key == self.key
+
+
+def order_key(value):
+    """A total-order key over the ground values NDlog tuples carry.
+
+    Values of one type order naturally; across types, the type name
+    decides (numbers are pooled so ``int`` and ``float`` compare
+    numerically, as the engines' raw comparisons do).  Tuples and
+    constructed tuples recurse, so path vectors with heterogeneous
+    elements still get a stable, order-consistent key -- unlike the
+    ``repr``-based tie-break this replaces, which broke for any type
+    whose repr is not order-consistent with its values.  Types with no
+    natural order at all fall back to their repr: for those any
+    deterministic total order is as good as another, and the key must
+    never raise mid-heap-push.
+    """
+    if isinstance(value, tuple):
+        return ("tuple", tuple(order_key(v) for v in value))
+    if isinstance(value, ConstructedTuple):
+        return ("tuple:" + value.pred,
+                tuple(order_key(v) for v in value.values))
+    if isinstance(value, (int, float)):
+        # bool included: raw comparisons treat True as 1, and the heap
+        # order must agree with ArgExtremeView._better's raw ordering.
+        return ("", value)
+    if isinstance(value, (str, bytes)):
+        return (type(value).__name__, value)
+    return (type(value).__name__, repr(value))
 
 
 class GroupState:
@@ -34,19 +93,33 @@ class GroupState:
 
     ``distinct`` controls ``count`` semantics: ``count<Var>`` counts
     distinct values (set semantics), ``count<*>`` counts derivations.
+
+    For ``min``/``max`` the distinct values are mirrored into a heap
+    with lazy deletion: :meth:`add` pushes a value the first time it
+    becomes live, :meth:`remove` leaves the heap untouched, and
+    :meth:`current` pops dead entries off the top until the best live
+    value surfaces -- O(log n) amortized per change.
     """
 
-    __slots__ = ("func", "values", "total_multiplicity", "distinct")
+    __slots__ = ("func", "values", "total_multiplicity", "distinct", "_heap")
 
     def __init__(self, func: str, distinct: bool = False):
         self.func = func
         self.distinct = distinct
         self.values: Dict[object, int] = {}
         self.total_multiplicity = 0
+        self._heap: Optional[List] = [] if func in ("min", "max") else None
 
     def add(self, value) -> None:
-        self.values[value] = self.values.get(value, 0) + 1
+        count = self.values.get(value, 0)
+        self.values[value] = count + 1
         self.total_multiplicity += 1
+        if count == 0 and self._heap is not None:
+            # Every live value keeps at least one heap entry; re-added
+            # values are re-pushed (the stale twin is harmless -- it
+            # reads as live for as long as the value is).
+            entry = value if self.func == "min" else _Rev(value)
+            heapq.heappush(self._heap, entry)
 
     def remove(self, value) -> None:
         current = self.values.get(value, 0)
@@ -56,18 +129,41 @@ class GroupState:
             )
         if current == 1:
             del self.values[value]
+            # Lazy deletion: the heap entry stays until a read pops it.
+            heap = self._heap
+            if heap is not None and len(heap) > 2 * len(self.values) + _COMPACT_SLACK:
+                self._rebuild_heap()
         else:
             self.values[value] = current - 1
         self.total_multiplicity -= 1
+
+    def _rebuild_heap(self) -> None:
+        if self.func == "min":
+            self._heap = list(self.values)
+        else:
+            self._heap = [_Rev(v) for v in self.values]
+        heapq.heapify(self._heap)
+
+    def _peek_extreme(self):
+        heap = self._heap
+        values = self.values
+        while heap:
+            top = heap[0]
+            value = top if self.func == "min" else top.key
+            if value in values:
+                return value
+            heapq.heappop(heap)
+        # Defensive: the push discipline guarantees a live entry exists.
+        self._rebuild_heap()
+        top = self._heap[0]
+        return top if self.func == "min" else top.key
 
     def current(self):
         """The aggregate value, or ``None`` for an empty group."""
         if not self.values:
             return None
-        if self.func == "min":
-            return min(self.values)
-        if self.func == "max":
-            return max(self.values)
+        if self.func in ("min", "max"):
+            return self._peek_extreme()
         if self.func == "count":
             return len(self.values) if self.distinct else self.total_multiplicity
         if self.func == "sum":
@@ -116,6 +212,15 @@ class AggregateView:
             deltas.append((1, self._head(group_key, new)))
         return deltas
 
+    def apply_many(
+        self, contributions: Iterable[Tuple], sign: int
+    ) -> List[Tuple[int, Tuple]]:
+        """Apply a chunk of same-signed contributions in order and return
+        the *net* deltas: a group whose value moves ``5 -> 3 -> 2``
+        within the chunk emits ``(-1, head(5)), (+1, head(2))`` with no
+        trace of the intermediate ``3``."""
+        return _net_deltas(self.apply, contributions, sign)
+
     def _head(self, group_key: Tuple, value) -> Tuple:
         info = self.info
         head: List[object] = [None] * (len(group_key) + 1)
@@ -132,6 +237,20 @@ class AggregateView:
         ]
 
 
+def _net_deltas(apply, contributions, sign) -> List[Tuple[int, Tuple]]:
+    """Run ``apply`` per contribution and collapse the emitted deltas to
+    their per-head net sign (first-seen head order, zeros dropped)."""
+    net: Dict[Tuple, int] = {}
+    order: List[Tuple] = []
+    for contribution in contributions:
+        for delta_sign, head in apply(contribution, sign):
+            if head not in net:
+                net[head] = 0
+                order.append(head)
+            net[head] += delta_sign
+    return [(net[head], head) for head in order if net[head] != 0]
+
+
 class ArgExtremeView:
     """Maintains one *witness tuple* per group: the tuple achieving the
     group's min (or max) value.
@@ -143,6 +262,11 @@ class ArgExtremeView:
     alternative is *not* an improvement, so advertising it would only
     churn the network (the dominant cost on hop-count metrics, where
     ties abound).
+
+    When the witness dies, the best survivor is promoted off a per-group
+    heap with lazy deletion (O(log n), the structure of [27]) rather
+    than an O(n) member rescan; ties on the value promote the tuple that
+    is least under :func:`order_key`, a deterministic total order.
     """
 
     def __init__(self, pred: str, group_positions: Tuple[int, ...],
@@ -157,6 +281,8 @@ class ArgExtremeView:
         self.members: Dict[Tuple, Dict[Tuple, int]] = {}
         #: group -> current witness tuple
         self.winners: Dict[Tuple, Tuple] = {}
+        #: group -> lazy-deletion heap of (value key, tie-break key, tuple)
+        self._heaps: Dict[Tuple, List] = {}
 
     def _group_of(self, args: Tuple) -> Tuple:
         return tuple(args[i] for i in self.group_positions)
@@ -164,13 +290,24 @@ class ArgExtremeView:
     def _better(self, a, b) -> bool:
         return a < b if self.func == "min" else a > b
 
+    def _entry(self, args: Tuple) -> Tuple:
+        value_key = order_key(args[self.value_position])
+        if self.func == "max":
+            value_key = _Rev(value_key)
+        return (value_key, order_key(args), args)
+
     def apply(self, args: Tuple, sign: int) -> List[Tuple[int, Tuple]]:
         group = self._group_of(args)
         members = self.members.setdefault(group, {})
         value = args[self.value_position]
         winner = self.winners.get(group)
         if sign > 0:
-            members[args] = members.get(args, 0) + 1
+            count = members.get(args, 0)
+            members[args] = count + 1
+            if count == 0:
+                heapq.heappush(
+                    self._heaps.setdefault(group, []), self._entry(args)
+                )
             if winner is None:
                 self.winners[group] = args
                 return [(1, args)]
@@ -186,28 +323,44 @@ class ArgExtremeView:
             )
         if current == 1:
             del members[args]
+            # Any member death strands a heap entry; compact here, not
+            # just on witness death -- non-winning alternatives that
+            # flap under churn would otherwise grow the heap unboundedly.
+            heap = self._heaps.get(group)
+            if (heap is not None and members
+                    and len(heap) > 2 * len(members) + _COMPACT_SLACK):
+                rebuilt = [self._entry(member) for member in members]
+                heapq.heapify(rebuilt)
+                self._heaps[group] = rebuilt
         else:
             members[args] = current - 1
         if args != winner or args in members:
             return []
-        # The witness died: promote the best survivor (deterministic pick).
+        # The witness died: promote the best survivor off the heap.
         if not members:
             del self.members[group]
             del self.winners[group]
+            self._heaps.pop(group, None)
             return [(-1, args)]
-        best = None
-        for candidate in members:
-            if best is None:
-                best = candidate
-                continue
-            cand_value = candidate[self.value_position]
-            best_value = best[self.value_position]
-            if self._better(cand_value, best_value) or (
-                cand_value == best_value and repr(candidate) < repr(best)
-            ):
-                best = candidate
+        heap = self._heaps[group]
+        while heap[0][2] not in members:
+            heapq.heappop(heap)
+        best = heap[0][2]
+        if len(heap) > 2 * len(members) + _COMPACT_SLACK:
+            rebuilt = [self._entry(member) for member in members]
+            heapq.heapify(rebuilt)
+            self._heaps[group] = rebuilt
         self.winners[group] = best
         return [(-1, args), (1, best)]
+
+    def apply_many(
+        self, contributions: Iterable[Tuple], sign: int
+    ) -> List[Tuple[int, Tuple]]:
+        """Batched :meth:`apply`: contributions are applied in order and
+        the emitted witness changes are collapsed to their net -- a
+        witness displaced and re-promoted within one chunk produces no
+        downstream deltas at all."""
+        return _net_deltas(self.apply, contributions, sign)
 
     def current_rows(self) -> List[Tuple]:
         return list(self.winners.values())

@@ -12,6 +12,12 @@ expose that freedom through a ``scheduler`` callable that decides how
 many buffered deltas each local iteration consumes; the engine shares
 PSN's strand/timestamp machinery (PSN "can allow just as much buffering
 as BSN", Section 3.3.2), so correctness follows from the same argument.
+
+``batch_size > 1`` additionally routes each scheduled iteration through
+PSN's micro-batched commit path (queue-level cancellation, run-batched
+strand firing, netted aggregate views -- see :mod:`repro.engine.psn`),
+which is the natural pairing: BSN already *buffers* bursts, batching
+makes processing them amortized too.
 """
 
 from __future__ import annotations
@@ -43,9 +49,10 @@ class BSNEngine(PSNEngine):
         scheduler: Scheduler = drain_all,
         on_commit=None,
         use_plans: bool = True,
+        batch_size: int = 1,
     ):
         super().__init__(program, db=db, on_commit=on_commit,
-                         use_plans=use_plans)
+                         use_plans=use_plans, batch_size=batch_size)
         self.scheduler = scheduler
         self.iterations = 0
 
@@ -82,7 +89,9 @@ def evaluate(
     scheduler: Scheduler = drain_all,
     max_steps: int = DEFAULT_MAX_STEPS,
     use_plans: bool = True,
+    batch_size: int = 1,
 ) -> EvalResult:
     """Run ``program`` to fixpoint with BSN and return the result."""
     return BSNEngine(program, db=db, scheduler=scheduler,
-                     use_plans=use_plans).fixpoint(max_steps=max_steps)
+                     use_plans=use_plans,
+                     batch_size=batch_size).fixpoint(max_steps=max_steps)

@@ -40,6 +40,43 @@ expressions compiled to closures, partner tables (and their live index
 dicts) bound into the executor, and all probed indexes pre-registered
 on the tables.  ``use_plans=False`` keeps the original interpreted
 path for baseline comparisons (``benchmarks/bench_join_plans.py``).
+
+**Micro-batched commits.**  With ``batch_size > 1`` the queue is
+drained in chunks instead of one delta at a time (Section 4's "bursty
+updates" processed as bursts):
+
+1. *Cancellation at the queue* -- the count algorithm of [Gupta et
+   al. 93] applied before any table or strand work: within a chunk, a
+   deletion intent annihilates a matching insertion intent that
+   precedes it.  Cancellation is restricted to cases where it is
+   provably equivalent to sequential processing: both intents must
+   target the *same* tuple, nothing else in the chunk (nor the stored
+   row) may occupy that tuple's primary key (replacement is
+   destructive, so netting across it is unsound), forced deletions
+   never cancel, and soft-state tables are exempt (a re-insertion is a
+   TTL refresh that must stay observable).
+2. *Run batching* -- surviving intents are split into maximal runs of
+   one (predicate, sign), each run is committed to the table in order,
+   and every strand of that predicate then fires **once per run** with
+   the list of driving facts, amortizing strand lookup, driver-step
+   seeding and inference bookkeeping.  Run batching applies only to
+   predicates with no self-join strands (no rule both driven by and
+   joining against the same predicate); for those, commit-then-fire is
+   join-for-join identical to sequential processing because a run
+   never touches its own partner tables.  Self-join predicates,
+   forced deletions and (in the distributed runtime) cache-intercepted
+   query predicates fall back to the per-delta reference path
+   mid-chunk.
+3. *Aggregate netting* -- a batched strand firing feeds its aggregate
+   or arg-extreme view through ``apply_many``, which emits only the
+   net group-value change for the chunk.
+
+``batch_size=1`` (the default) is the reference path and reproduces
+the historical commit order exactly.  Batching may change the
+*intermediate* delta traffic (cancelled pairs never commit, netted
+aggregates skip transient values) but never the fixpoint or the final
+derivation counts -- ``tests/test_batching.py`` holds both paths to
+that, and ``benchmarks/bench_delta_pipeline.py`` measures the win.
 """
 
 from __future__ import annotations
@@ -100,6 +137,16 @@ class Strand:
         self.sources: Optional[Dict[int, object]] = None
         self.bound_executor = None
 
+    def attach_sources(self, db: Database) -> None:
+        """Bind the partner tables once at engine construction; both
+        evaluation paths read them from here instead of rebuilding the
+        dict on every firing."""
+        self.sources = {
+            index: db.table(self.crule.body[index].pred)
+            for index in self.crule.literal_indexes
+            if index != self.driver_index
+        }
+
     def attach_plan(self, db: Database, stats=None) -> None:
         """Compile this strand's join plan against ``db``; the executor
         is *bound* -- the partner tables (and their live index dicts)
@@ -109,11 +156,8 @@ class Strand:
             self.crule, driver_index=self.driver_index, stats=stats
         )
         self.driver_step = compile_driver_step(self.crule, self.driver_index)
-        self.sources = {
-            index: db.table(self.crule.body[index].pred)
-            for index in self.crule.literal_indexes
-            if index != self.driver_index
-        }
+        if self.sources is None:
+            self.attach_sources(db)
         for pred, positions in self.plan.index_requests():
             db.table(pred).register_index(positions)
         self.bound_executor = self.plan.bind(self.sources)
@@ -143,6 +187,11 @@ class PSNEngine:
     ``on_commit(fact, sign)`` (if given) observes every visible table
     change, in commit order -- used by the distributed runtime and the
     experiment harness.
+
+    ``batch_size`` selects the queue discipline: 1 (the default)
+    processes one delta per step exactly as Algorithm 3 writes it;
+    larger values enable the micro-batched commit path (cancellation,
+    run batching, aggregate netting -- see the module docstring).
     """
 
     def __init__(
@@ -152,18 +201,38 @@ class PSNEngine:
         on_commit: Optional[Callable[[Fact, int], None]] = None,
         use_plans: bool = True,
         stats: Optional[StatsCatalog] = None,
+        batch_size: int = 1,
     ):
         self.program = program
         self.db = db if db is not None else Database.for_program(program)
         self.compiled = [CompiledRule(rule) for rule in program.rules if rule.body]
         self.strands = build_strands(self.compiled)
         self.use_plans = use_plans
+        self.batch_size = max(1, int(batch_size))
+        for strand_list in self.strands.values():
+            for strand in strand_list:
+                strand.attach_sources(self.db)
         if use_plans:
             if stats is None:
                 stats = StatsCatalog.from_database(self.db)
             for strand_list in self.strands.values():
                 for strand in strand_list:
                     strand.attach_plan(self.db, stats=stats)
+        #: Predicates whose deltas must take the per-delta reference
+        #: path even inside a chunk: any predicate that drives a strand
+        #: also joining against itself (run batching would double- or
+        #: under-count the self-join), plus subclass-specific exclusions.
+        self._unbatchable = set(self._unbatchable_preds())
+        for pred, strand_list in self.strands.items():
+            for strand in strand_list:
+                crule = strand.crule
+                if any(
+                    crule.body[index].pred == pred
+                    for index in crule.literal_indexes
+                    if index != strand.driver_index
+                ):
+                    self._unbatchable.add(pred)
+                    break
         self.views: Dict[str, AggregateView] = {}
         self.argmin_views: Dict[str, ArgExtremeView] = {}
         for crule in self.compiled:
@@ -180,7 +249,14 @@ class PSNEngine:
         self.clock = 0
         self.inferences = 0
         self.steps = 0
+        self.cancelled = 0
         self.on_commit = on_commit
+
+    def _unbatchable_preds(self):
+        """Extra predicates the batched path must hand to the per-delta
+        reference path (subclass hook; the distributed node runtime
+        excludes its cache-intercepted query predicate)."""
+        return ()
 
     # ------------------------------------------------------------------
     # External change API (base tables; Section 4's insert/delete/update)
@@ -241,27 +317,36 @@ class PSNEngine:
     def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
         """Process queued deltas until quiescent; returns steps taken.
 
-        The limit is exact: at most ``max_steps`` deltas are processed,
-        and the engine raises as soon as a further delta would exceed
-        it (not one delta too late).
+        The limit is exact: at most ``max_steps`` deltas are consumed
+        off the queue (cancelled intents included), and the engine
+        raises as soon as a further delta would exceed it (not one
+        delta too late).
         """
         taken = 0
+        chunk = self.batch_size
         while self.queue:
             if taken >= max_steps:
                 raise EvaluationError(
                     f"PSN exceeded {max_steps} steps (non-terminating "
                     f"program?)"
                 )
-            self.process_next()
-            taken += 1
+            if chunk > 1:
+                taken += self.process_chunk(min(chunk, max_steps - taken))
+            else:
+                self.process_next()
+                taken += 1
         return taken
 
     def run_batch(self, batch: int) -> int:
         """Process at most ``batch`` deltas (used by BSN scheduling)."""
         taken = 0
+        chunk = self.batch_size
         while self.queue and taken < batch:
-            self.process_next()
-            taken += 1
+            if chunk > 1:
+                taken += self.process_chunk(min(chunk, batch - taken))
+            else:
+                self.process_next()
+                taken += 1
         return taken
 
     @property
@@ -283,6 +368,186 @@ class PSNEngine:
             self._commit_insert(delta.fact)
         else:
             self._commit_delete(delta.fact, force=delta.force)
+
+    # ------------------------------------------------------------------
+    # Micro-batched processing (batch_size > 1)
+    # ------------------------------------------------------------------
+    def process_chunk(self, limit: int) -> int:
+        """Drain up to ``limit`` deltas as one chunk; returns the number
+        of deltas consumed off the queue (cancelled pairs included)."""
+        queue = self.queue
+        count = min(limit, len(queue))
+        if count <= 1:
+            if count:
+                self.process_next()
+            return count
+        chunk = [queue.popleft() for _ in range(count)]
+        self.steps += count
+        # A cancellable pair needs a non-forced insert *and* a
+        # non-forced delete in the same chunk; all-refresh or all-expiry
+        # bursts skip the grouping scan outright.
+        has_plus = has_minus = False
+        for delta in chunk:
+            if delta.force:
+                continue
+            if delta.sign > 0:
+                has_plus = True
+            else:
+                has_minus = True
+        survivors = (
+            self._cancel_chunk(chunk) if has_plus and has_minus else chunk
+        )
+        unbatchable = self._unbatchable
+        index = 0
+        end = len(survivors)
+        while index < end:
+            delta = survivors[index]
+            pred = delta.fact.pred
+            sign = delta.sign
+            if delta.force or pred in unbatchable:
+                if sign > 0:
+                    self._commit_insert(delta.fact)
+                else:
+                    self._commit_delete(delta.fact, force=delta.force)
+                index += 1
+                continue
+            stop = index + 1
+            while stop < end:
+                nxt = survivors[stop]
+                if nxt.force or nxt.sign != sign or nxt.fact.pred != pred:
+                    break
+                stop += 1
+            if stop - index == 1:
+                if sign > 0:
+                    self._commit_insert(delta.fact)
+                else:
+                    self._commit_delete(delta.fact)
+            else:
+                run = [survivors[i].fact for i in range(index, stop)]
+                if sign > 0:
+                    self._commit_insert_run(run)
+                else:
+                    self._commit_delete_run(run)
+            index = stop
+        return count
+
+    def _cancel_chunk(self, chunk: List[QueuedDelta]) -> List[QueuedDelta]:
+        """Annihilate matching +/- intents on the same fact before any
+        table or strand work -- [Gupta et al. 93]'s count algorithm
+        applied at the queue.
+
+        A deletion cancels the nearest *preceding* un-cancelled
+        insertion of the same fact (a minus with no plus before it must
+        still reach the table: against the store it may be a decrement
+        or a no-op, which netting cannot predict).  A (pred, pkey) group
+        is eligible only when every chunk intent on that key targets
+        one identical tuple, none is forced, the table is not
+        soft-state, and the stored row under the key (if any) is that
+        same tuple -- primary-key replacement is destructive, so
+        cancelling across it would resurrect superseded rows.
+        """
+        table_of = self.db.table
+        groups: Dict[Tuple[str, Tuple], List] = {}
+        order: List[Tuple[str, Tuple]] = []
+        for position, delta in enumerate(chunk):
+            fact = delta.fact
+            table = table_of(fact.pred)
+            group_key = (fact.pred, table.key_of(fact.args))
+            group = groups.get(group_key)
+            if group is None:
+                # [args, eligible, positions]
+                groups[group_key] = group = [fact.args, not delta.force, []]
+                order.append(group_key)
+            elif group[0] != fact.args or delta.force:
+                group[1] = False
+            group[2].append(position)
+        dropped: set = set()
+        for group_key in order:
+            args, eligible, positions = groups[group_key]
+            if not eligible or len(positions) < 2:
+                continue
+            pred, key = group_key
+            table = table_of(pred)
+            if table.lifetime != INFINITY:
+                continue
+            stored = table.get_by_key(key)
+            if stored is not None and stored != args:
+                continue
+            pending: List[int] = []
+            for position in positions:
+                if chunk[position].sign > 0:
+                    pending.append(position)
+                elif pending:
+                    dropped.add(pending.pop())
+                    dropped.add(position)
+        if not dropped:
+            return chunk
+        self.cancelled += len(dropped)
+        return [
+            delta for position, delta in enumerate(chunk)
+            if position not in dropped
+        ]
+
+    def _commit_insert_run(self, facts: List[Fact]) -> None:
+        """Commit a run of same-predicate insertions, then fire each
+        strand once with the freshly visible facts.  Join-for-join
+        identical to sequential processing: the predicate has no
+        self-join strands (checked by the caller), so the deferred
+        firings read partner tables this run never touches."""
+        table = self.db.table(facts[0].pred)
+        on_commit = self.on_commit
+        soft = table.lifetime != INFINITY
+        pending: List[Fact] = []
+        for fact in facts:
+            args = fact.args
+            if args in table:
+                # Duplicate derivation: count bump + timestamp refresh
+                # (observable only for soft-state TTL consumers).
+                self.clock += 1
+                table.insert(args, ts=self.clock)
+                if soft and on_commit is not None:
+                    on_commit(fact, 1)
+                continue
+            old = table.get_by_key(table.key_of(args))
+            if old is not None:
+                # Replacement retracts the superseded row through the
+                # sequential path; flush deferred firings first so the
+                # retraction cannot overtake them (the old row may even
+                # be a member of this very run).
+                if pending:
+                    self._fire_strands_batch(pending, 1)
+                    pending = []
+                self._retract_visible(Fact(fact.pred, old))
+            self.clock += 1
+            table.insert(args, ts=self.clock)
+            if on_commit is not None:
+                on_commit(fact, 1)
+            pending.append(fact)
+        if pending:
+            self._fire_strands_batch(pending, 1)
+
+    def _commit_delete_run(self, facts: List[Fact]) -> None:
+        """Commit a run of same-predicate (non-forced) deletions, then
+        fire each strand once with the retracted facts.  Removing the
+        tuples up front reproduces the sequential visibility rule ("a
+        co-participant deleted later no longer sees it") because the
+        run's facts never appear in each other's partner tables."""
+        table = self.db.table(facts[0].pred)
+        on_commit = self.on_commit
+        pending: List[Fact] = []
+        for fact in facts:
+            current = table.count(fact.args)
+            if current <= 0:
+                continue  # superseded, never committed, or already gone
+            if current > 1:
+                table.delete(fact.args)
+                continue
+            if on_commit is not None:
+                on_commit(fact, -1)
+            table.force_delete(fact.args)
+            pending.append(fact)
+        if pending:
+            self._fire_strands_batch(pending, -1)
 
     def _commit_insert(self, fact: Fact) -> None:
         table = self.db.table(fact.pred)
@@ -349,14 +614,9 @@ class PSNEngine:
         seed = unify_literal(strand.driver_literal, fact.args, {}, functions)
         if seed is None:
             return
-        sources = {
-            index: self.db.table(crule.body[index].pred)
-            for index in crule.literal_indexes
-            if index != strand.driver_index
-        }
         for bindings in solve(
             crule,
-            sources,
+            strand.sources,
             functions,
             bindings=seed,
             skip_index=strand.driver_index,
@@ -365,6 +625,64 @@ class PSNEngine:
             self.inferences += 1
             head = instantiate_head(crule, bindings, functions)
             self._emit(crule, head, sign)
+
+    def _fire_strands_batch(self, facts: List[Fact], sign: int) -> None:
+        """Fire every strand of the run's predicate once with the whole
+        list of driving facts (the batched counterpart of
+        :meth:`_fire_strands`)."""
+        for strand in self.strands.get(facts[0].pred, ()):
+            self._fire_strand_batch(strand, facts, sign)
+
+    def _fire_strand_batch(self, strand: Strand, facts: List[Fact],
+                           sign: int) -> None:
+        crule = strand.crule
+        functions = self.db.functions
+        batch_view = crule.aggregate is not None or crule.argmin is not None
+        heads: Optional[List[Tuple]] = [] if batch_view else None
+        inferences = 0
+        if strand.plan is not None:
+            match = strand.driver_step.match
+            executor = strand.bound_executor
+            instantiate = crule.instantiate
+            emit = self._emit
+            for fact in facts:
+                seed = match(fact.args, {}, functions)
+                if seed is None:
+                    continue
+                for bindings in executor(seed, None, functions, fact, None):
+                    inferences += 1
+                    head = instantiate(bindings, functions)
+                    if batch_view:
+                        heads.append(head)
+                    else:
+                        emit(crule, head, sign)
+        else:
+            driver_literal = strand.driver_literal
+            sources = strand.sources
+            driver_index = strand.driver_index
+            for fact in facts:
+                seed = unify_literal(driver_literal, fact.args, {}, functions)
+                if seed is None:
+                    continue
+                for bindings in solve(
+                    crule, sources, functions, bindings=seed,
+                    skip_index=driver_index, skip_fact=fact,
+                ):
+                    inferences += 1
+                    head = instantiate_head(crule, bindings, functions)
+                    if batch_view:
+                        heads.append(head)
+                    else:
+                        self._emit(crule, head, sign)
+        self.inferences += inferences
+        if batch_view and heads:
+            pred = crule.head.pred
+            if crule.aggregate is not None:
+                view = self.views[pred]
+            else:
+                view = self.argmin_views[pred]
+            for view_sign, view_args in view.apply_many(heads, sign):
+                self.derive(Fact(pred, view_args), view_sign)
 
     def _emit(self, crule: CompiledRule, head: Tuple, sign: int) -> None:
         """Route a rule firing to its head relation (virtual: the
@@ -388,7 +706,9 @@ def evaluate(
     db: Optional[Database] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     use_plans: bool = True,
+    batch_size: int = 1,
 ) -> EvalResult:
     """Run ``program`` to fixpoint with PSN and return the result."""
-    engine = PSNEngine(program, db=db, use_plans=use_plans)
+    engine = PSNEngine(program, db=db, use_plans=use_plans,
+                       batch_size=batch_size)
     return engine.fixpoint(max_steps=max_steps)

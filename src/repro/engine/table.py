@@ -126,7 +126,12 @@ class Table:
         self._counts[args] = count
         self._ts[args] = ts
         for positions, index in self._indexes.items():
-            index.setdefault(tuple(args[i] for i in positions), set()).add(args)
+            projected = tuple(args[i] for i in positions)
+            bucket = index.get(projected)
+            if bucket is None:
+                index[projected] = {args}
+            else:
+                bucket.add(args)
         deltas.append((1, args))
         return deltas
 
@@ -176,11 +181,12 @@ class Table:
         if self._rows.get(key) == args:
             del self._rows[key]
         for positions, index in self._indexes.items():
-            bucket = index.get(tuple(args[i] for i in positions))
+            projected = tuple(args[i] for i in positions)
+            bucket = index.get(projected)
             if bucket is not None:
                 bucket.discard(args)
                 if not bucket:
-                    del index[tuple(args[i] for i in positions)]
+                    del index[projected]
 
     # ------------------------------------------------------------------
     # Lookup

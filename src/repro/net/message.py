@@ -49,7 +49,15 @@ class NetDelta:
     sign: int
 
     def payload_size(self) -> int:
-        return DELTA_HEADER_BYTES + tuple_size(self.pred, self.args)
+        # Cached: the fields are frozen, and the size walk recurses
+        # through the whole path vector -- a top cost of the simulation
+        # when recomputed per read (every message is sized at least
+        # twice: once for the traffic stats, once for the link model).
+        size = self.__dict__.get("_payload_size")
+        if size is None:
+            size = DELTA_HEADER_BYTES + tuple_size(self.pred, self.args)
+            self.__dict__["_payload_size"] = size
+        return size
 
 
 @dataclass
@@ -58,15 +66,20 @@ class Message:
 
     Multiple deltas in one message model the opportunistic message
     sharing of Section 5.2: ``shared_fields`` are charged once.
+    ``deltas`` and ``shared_bytes`` must not be mutated after the first
+    ``size`` read (construction sites build messages whole).
     """
 
     src: str
     dst: str
     deltas: Tuple[NetDelta, ...]
     shared_bytes: int = 0
+    _size: int = field(default=0, repr=False, compare=False)
 
     @property
     def size(self) -> int:
+        if self._size:
+            return self._size
         if self.shared_bytes:
             # Shared fields charged once; each member pays only its
             # distinct remainder plus a small delta header.
@@ -74,8 +87,11 @@ class Message:
                 max(0, delta.payload_size() - self.shared_bytes)
                 for delta in self.deltas
             )
-            return HEADER_BYTES + self.shared_bytes + distinct
-        return HEADER_BYTES + sum(d.payload_size() for d in self.deltas)
+            size = HEADER_BYTES + self.shared_bytes + distinct
+        else:
+            size = HEADER_BYTES + sum(d.payload_size() for d in self.deltas)
+        self._size = size
+        return size
 
 
 def single(src: str, dst: str, pred: str, args: Tuple, sign: int) -> Message:

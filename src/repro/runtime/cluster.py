@@ -79,7 +79,8 @@ class Cluster:
         for pred, table in sample.db.tables.items():
             self._pkeys[pred] = table.key
 
-        link_loads = link_loads or {"link": "latency"}
+        if link_loads is None:
+            link_loads = {"link": "latency"}
         for pred, metric in link_loads.items():
             self.load_links(pred, metric)
 

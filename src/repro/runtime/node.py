@@ -7,9 +7,14 @@ difference is head routing: a head tuple whose location specifier is a
 different address is shipped along the link (Claim 1 guarantees the
 destination is a link neighbour).
 
-Processing costs virtual CPU time: one queued delta is consumed per
-``cpu_delay`` tick, which serializes a node's work the way a single P2
-dataflow thread would.
+Processing costs virtual CPU time: each queued delta consumed charges
+``cpu_delay``, which serializes a node's work the way a single P2
+dataflow thread would.  A tick consumes up to ``config.cpu_batch``
+deltas through the engine's micro-batched commit path and books the
+node for the corresponding multiple of ``cpu_delay``, so virtual-time
+accounting is independent of the batch size while the host-side
+simulation does per-event work once per batch instead of once per
+delta.
 """
 
 from __future__ import annotations
@@ -32,9 +37,13 @@ class NodeRuntime(PSNEngine):
     """One network node executing the localized program."""
 
     def __init__(self, address: str, program: Program, cluster):
-        super().__init__(program, db=Database.for_program(program))
+        # Set before super().__init__: the engine's batchable-predicate
+        # scan calls back into _unbatchable_preds, which reads the
+        # cluster's cache policy.
         self.address = address
         self.cluster = cluster
+        super().__init__(program, db=Database.for_program(program),
+                         batch_size=cluster.config.cpu_batch)
         self._tick_scheduled = False
         self.deltas_processed = 0
         self.on_commit = self._commit_hook
@@ -42,8 +51,15 @@ class NodeRuntime(PSNEngine):
         self.result_cache: Dict[str, Tuple[Tuple, float]] = {}
         self.cache_hits = 0
 
+    def _unbatchable_preds(self):
+        """Cache-intercepted query tuples must flow through the
+        per-delta path so :meth:`_fire_strands` can suppress the
+        flooding strands on a hit."""
+        policy = self.cluster.config.cache
+        return () if policy is None else (policy.query_pred,)
+
     # ------------------------------------------------------------------
-    # Scheduling: one delta per CPU tick
+    # Scheduling: up to cpu_batch deltas per CPU tick
     # ------------------------------------------------------------------
     def _enqueue(self, delta: QueuedDelta) -> None:
         self.queue.append(delta)
@@ -53,14 +69,31 @@ class NodeRuntime(PSNEngine):
         if self._tick_scheduled or not self.queue:
             return
         self._tick_scheduled = True
-        self.cluster.sim.after(self.cluster.config.cpu_delay, self._tick)
+        self.cluster.sim.post(self.cluster.config.cpu_delay, self._tick)
 
     def _tick(self) -> None:
-        self._tick_scheduled = False
+        processed = 0
         if self.queue:
-            self.process_next()
-            self.deltas_processed += 1
-        self._schedule_tick()
+            if self.batch_size > 1:
+                processed = self.process_chunk(self.batch_size)
+            else:
+                self.process_next()
+                processed = 1
+            self.deltas_processed += processed
+        # The tick that fired was charged one cpu_delay ahead (for its
+        # first delta); the remaining (processed - 1) deltas owe their
+        # CPU time now, so the node stays booked for it -- deltas
+        # arriving meanwhile wait their turn exactly as behind a busy
+        # single-threaded dataflow.  With batch_size=1 this reduces to
+        # the historical schedule: one charged delta per event, idle
+        # immediately after a drain.
+        delay = self.cluster.config.cpu_delay
+        if self.queue:
+            self.cluster.sim.post(delay * max(processed, 1), self._tick)
+        elif processed > 1:
+            self.cluster.sim.post(delay * (processed - 1), self._tick)
+        else:
+            self._tick_scheduled = False
 
     # ------------------------------------------------------------------
     # Network interface

@@ -1,8 +1,15 @@
 """Incremental aggregate maintenance tests (Sections 3.3.2 and 4)."""
 
+import random
+
 import pytest
 
-from repro.engine.aggregates import AggregateView, GroupState
+from repro.engine.aggregates import (
+    AggregateView,
+    ArgExtremeView,
+    GroupState,
+    order_key,
+)
 from repro.engine.rules import AggregateInfo
 from repro.errors import EvaluationError
 
@@ -139,3 +146,153 @@ class TestAggregateView:
         view = AggregateView("bestFirst", info)
         assert view.apply((5, "a"), 1) == [(1, (5, "a"))]
         assert view.apply((3, "a"), 1) == [(-1, (5, "a")), (1, (3, "a"))]
+
+    def test_apply_many_emits_net_change_only(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        deltas = view.apply_many(
+            [("a", "b", 4), ("a", "b", 3), ("a", "b", 2)], 1)
+        # 5 -> 4 -> 3 -> 2 collapses to one retract + one insert.
+        assert deltas == [(-1, ("a", "b", 5)), (1, ("a", "b", 2))]
+
+    def test_apply_many_retractions(self):
+        view = make_view()
+        view.apply(("a", "b", 5), 1)
+        assert view.apply_many([("a", "b", 5)], -1) == [(-1, ("a", "b", 5))]
+        view.apply(("a", "b", 5), 1)
+        # Retract and re-add the only value in one chunk: no net change.
+        view.apply(("a", "b", 4), 1)
+        deltas = view.apply_many([("a", "b", 4)], -1)
+        assert deltas == [(-1, ("a", "b", 4)), (1, ("a", "b", 5))]
+
+
+class TestHeapBackedExtremes:
+    """The lazy-deletion heaps must agree with a from-scratch min/max
+    under arbitrary churn (the O(log n) structure of [27])."""
+
+    @pytest.mark.parametrize("func", ["min", "max"])
+    def test_random_churn_matches_rescan(self, func):
+        rng = random.Random(42)
+        g = GroupState(func)
+        shadow = []
+        for _ in range(3000):
+            if shadow and rng.random() < 0.45:
+                value = rng.choice(shadow)
+                shadow.remove(value)
+                g.remove(value)
+            else:
+                value = rng.randint(0, 50)
+                shadow.append(value)
+                g.add(value)
+            expected = None
+            if shadow:
+                expected = min(shadow) if func == "min" else max(shadow)
+            assert g.current() == expected
+
+    def test_heap_stays_compact_under_churn(self):
+        g = GroupState("min")
+        for i in range(1000):
+            g.add(i)
+        for i in range(995):
+            g.remove(i)
+        assert g.current() == 995
+        assert len(g._heap) <= 2 * len(g.values) + 16 + 1
+
+    @pytest.mark.parametrize("func", ["min", "max"])
+    def test_argextreme_random_churn_matches_rescan(self, func):
+        rng = random.Random(7)
+        view = ArgExtremeView("best", (0,), 1, func=func)
+        shadow = {}
+        for _ in range(2000):
+            group = rng.choice(["g1", "g2"])
+            members = shadow.setdefault(group, [])
+            if members and rng.random() < 0.45:
+                args = rng.choice(members)
+                members.remove(args)
+                view.apply(args, -1)
+            else:
+                args = (group, rng.randint(0, 30))
+                members.append(args)
+                view.apply(args, 1)
+            for g, rows in shadow.items():
+                if not rows:
+                    assert (g,) not in view.winners
+                    continue
+                best = view.winners[(g,)]
+                values = [r[1] for r in rows]
+                expected = min(values) if func == "min" else max(values)
+                assert best[1] == expected
+
+
+class TestOrderKey:
+    def test_orders_numbers_numerically_across_int_float(self):
+        assert order_key(1.5) < order_key(2)
+        assert order_key(2) < order_key(2.5)
+
+    def test_bools_pool_with_numbers_like_raw_comparison(self):
+        # Raw comparisons treat True as 1; the heap order must agree
+        # with ArgExtremeView._better or promotion picks a non-extreme.
+        assert order_key(True) < order_key(2)
+        assert order_key(0) < order_key(True)
+        view = ArgExtremeView("best", (0,), 1, func="min")
+        view.apply(("g", 0), 1)
+        view.apply(("g", True), 1)
+        view.apply(("g", 2), 1)
+        deltas = view.apply(("g", 0), -1)
+        assert deltas == [(-1, ("g", 0)), (1, ("g", True))]
+
+    def test_orders_across_types_deterministically(self):
+        values = ["b", 3, ("x", 1), "a", 2.5, ("x",)]
+        ordered = sorted(values, key=order_key)
+        assert ordered == sorted(values, key=order_key)  # stable/total
+        assert ordered.index(2.5) < ordered.index(3)
+        assert ordered.index("a") < ordered.index("b")
+        assert ordered.index(("x",)) < ordered.index(("x", 1))
+
+    def test_nonwinner_churn_keeps_heap_compact(self):
+        """Flapping a non-winning alternative must not grow the lazy
+        heap unboundedly (compaction also runs off the non-winner
+        removal path)."""
+        view = ArgExtremeView("best", (0,), 1, func="min")
+        view.apply(("g", 1), 1)  # stable winner
+        for _ in range(5000):
+            view.apply(("g", 7), 1)
+            view.apply(("g", 7), -1)
+        assert view.winners[("g",)] == ("g", 1)
+        assert len(view._heaps[("g",)]) <= 2 * 1 + 16 + 1
+
+    def test_unorderable_values_tie_break_deterministically(self):
+        """Witness tuples may carry values with no natural order (e.g.
+        ConstructedTuple); the tie-break key must not raise on insert
+        and promotion must stay deterministic."""
+        from repro.ndlog.terms import ConstructedTuple
+
+        class Opaque:  # no __lt__
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __repr__(self):
+                return f"Opaque({self.tag})"
+
+        view = ArgExtremeView("best", (0,), 1, func="min")
+        a = ConstructedTuple("link", ("a", "b"))
+        b = ConstructedTuple("link", ("a", "c"))
+        view.apply(("g", 5, a), 1)
+        view.apply(("g", 5, b), 1)  # value tie; unorderable third field
+        deltas = view.apply(("g", 5, a), -1)
+        assert deltas == [(-1, ("g", 5, a)), (1, ("g", 5, b))]
+        view2 = ArgExtremeView("best", (0,), 1, func="min")
+        ox, oy = Opaque("x"), Opaque("y")
+        view2.apply(("g", 5, ox), 1)
+        view2.apply(("g", 5, oy), 1)
+        deltas = view2.apply(("g", 5, ox), -1)  # no TypeError on promote
+        assert deltas == [(-1, ("g", 5, ox)), (1, ("g", 5, oy))]
+
+    def test_tie_break_promotes_least_tuple(self):
+        view = ArgExtremeView("best", (0,), 1, func="min")
+        view.apply(("g", 5, "zebra"), 1)     # incumbent
+        view.apply(("g", 5, "aardvark"), 1)  # tie: incumbent kept
+        assert view.winners[("g",)] == ("g", 5, "zebra")
+        deltas = view.apply(("g", 5, "zebra"), -1)
+        # Promotion is deterministic: the least tuple under order_key.
+        assert deltas == [(-1, ("g", 5, "zebra")), (1, ("g", 5, "aardvark"))]

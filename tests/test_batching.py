@@ -1,0 +1,306 @@
+"""Batched vs unbatched delta processing.
+
+The micro-batched commit path (``batch_size > 1``: queue-level
+cancellation, run-batched strand firing, netted aggregate views) may
+change *intermediate* traffic but must never change what the engines
+compute: property tests hold the fixpoint contents, the final
+derivation counts, the aggregate views, and the net commit multiset
+equal across batch sizes and engines; deterministic tests pin the
+soundness guards of the cancellation pass one by one.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import Database, seminaive
+from repro.engine.bsn import BSNEngine
+from repro.engine.psn import PSNEngine
+from repro.ndlog import parse, programs
+
+SETTINGS = dict(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BATCH_SIZES = (1, 7, 64)
+
+nodes = st.integers(min_value=0, max_value=5).map(lambda i: f"n{i}")
+undirected_edges = st.sets(
+    st.tuples(nodes, nodes).filter(lambda e: e[0] < e[1]),
+    min_size=1, max_size=10,
+)
+
+
+def weighted_rows(state):
+    rows = []
+    for (a, b), cost in state.items():
+        rows.append((a, b, cost))
+        rows.append((b, a, cost))
+    return rows
+
+
+def counts_snapshot(db):
+    """Per-tuple derivation counts of every table (the [Gupta et al. 93]
+    bookkeeping batching must preserve exactly)."""
+    return {
+        name: {args: table.count(args) for args in table.rows()}
+        for name, table in db.tables.items()
+    }
+
+
+def view_rows(engine):
+    out = {}
+    for pred, view in engine.views.items():
+        out[pred] = frozenset(view.current_rows())
+    for pred, view in engine.argmin_views.items():
+        out[pred] = frozenset(view.current_rows())
+    return out
+
+
+def interleaved_burst_run(program_builder, batch_size, edge_set, seed, ops,
+                          engine_cls=PSNEngine, record_commits=False):
+    """Converge, apply ``ops`` random insert/delete/update operations as
+    one enqueued burst, run to quiescence; return the observable state."""
+    rng = random.Random(seed)
+    state = {}
+    for a, b in sorted(edge_set):
+        state[(a, b)] = rng.randint(1, 9)
+
+    program = program_builder()
+    db = Database.for_program(program)
+    db.load_facts("link", weighted_rows(state))
+    commits = {}
+
+    def on_commit(fact, sign):
+        commits[fact] = commits.get(fact, 0) + sign
+
+    engine = engine_cls(
+        program, db=db, batch_size=batch_size,
+        on_commit=on_commit if record_commits else None,
+    )
+    engine.fixpoint()
+    if record_commits:
+        commits.clear()  # compare the burst phase only
+
+    pairs = sorted(edge_set)
+    for _ in range(ops):
+        kind = rng.choice(["del", "ins", "upd", "flap"])
+        if kind == "del" and state:
+            pair = rng.choice(sorted(state))
+            cost = state.pop(pair)
+            engine.delete("link", (*pair, cost))
+            engine.delete("link", (pair[1], pair[0], cost))
+        elif kind == "ins":
+            pair = tuple(rng.choice(pairs))
+            if pair not in state:
+                cost = rng.randint(1, 9)
+                state[pair] = cost
+                engine.insert("link", (*pair, cost))
+                engine.insert("link", (pair[1], pair[0], cost))
+        elif kind == "upd" and state:
+            pair = rng.choice(sorted(state))
+            cost = rng.randint(1, 9)
+            state[pair] = cost
+            engine.update("link", (*pair, cost))
+            engine.update("link", (pair[1], pair[0], cost))
+        elif kind == "flap":
+            # Transient announce/withdraw of a link that is not part of
+            # the stored graph: the plus-first pattern cancellation is
+            # allowed to annihilate.
+            pair = tuple(rng.choice(pairs))
+            if pair not in state:
+                cost = rng.randint(1, 9)
+                from repro.engine.facts import Fact
+                engine.derive(Fact("link", (*pair, cost)), 1)
+                engine.derive(Fact("link", (pair[1], pair[0], cost)), 1)
+                engine.derive(Fact("link", (*pair, cost)), -1)
+                engine.derive(Fact("link", (pair[1], pair[0], cost)), -1)
+    engine.run()
+    return engine, commits
+
+
+@given(
+    edge_set=undirected_edges,
+    seed=st.integers(min_value=0, max_value=999),
+    ops=st.integers(min_value=1, max_value=8),
+)
+@settings(**SETTINGS)
+def test_batched_psn_matches_reference_on_shortest_path(edge_set, seed, ops):
+    """Fixpoint contents, derivation counts, aggregate views and the net
+    commit multiset agree across batch sizes on interleaved bursts."""
+    reference = None
+    for batch_size in BATCH_SIZES:
+        engine, commits = interleaved_burst_run(
+            programs.shortest_path_safe, batch_size, edge_set, seed, ops,
+            record_commits=True,
+        )
+        observed = (
+            engine.db.snapshot(),
+            counts_snapshot(engine.db),
+            view_rows(engine),
+            # Net commit multiset: transient facts net to zero either by
+            # committing +1/-1 (sequential) or by never committing at
+            # all (cancelled); both read as "no net commit".
+            {fact: net for fact, net in commits.items() if net != 0},
+        )
+        if reference is None:
+            reference = observed
+        else:
+            assert observed[0] == reference[0], f"rows @ batch={batch_size}"
+            assert observed[1] == reference[1], f"counts @ batch={batch_size}"
+            assert observed[2] == reference[2], f"views @ batch={batch_size}"
+            assert observed[3] == reference[3], f"commits @ batch={batch_size}"
+
+
+@given(edge_set=undirected_edges, seed=st.integers(min_value=0, max_value=99))
+@settings(**SETTINGS)
+def test_batched_engines_match_seminaive_fixpoint(edge_set, seed):
+    """PSN and BSN at every batch size reach the semi-naive fixpoint,
+    including on self-join rules (which fall back to the per-delta path
+    inside a chunk)."""
+    rng = random.Random(seed)
+    links = []
+    for a, b in sorted(edge_set):
+        cost = rng.randint(1, 9)
+        links.append((a, b, cost))
+        links.append((b, a, cost))
+    for builder, pred, rows in (
+        (programs.transitive_closure_nonlinear, "edge", sorted(edge_set)),
+        (programs.shortest_path_safe, "link", links),
+    ):
+        program = builder()
+        db = Database.for_program(program)
+        db.load_facts(pred, rows)
+        reference = seminaive.evaluate(program, db).db.snapshot()
+        for engine_cls in (PSNEngine, BSNEngine):
+            for batch_size in BATCH_SIZES[1:]:
+                program2 = builder()
+                db2 = Database.for_program(program2)
+                db2.load_facts(pred, rows)
+                engine = engine_cls(program2, db=db2, batch_size=batch_size)
+                engine.fixpoint()
+                assert engine.db.snapshot() == reference, (
+                    engine_cls.__name__, batch_size, builder.__name__,
+                )
+
+
+# ----------------------------------------------------------------------
+# Cancellation soundness guards, pinned deterministically
+# ----------------------------------------------------------------------
+KV_PROGRAM = """
+materialize(kv, infinity, infinity, keys(1)).
+materialize(out, infinity, infinity, keys(1, 2)).
+KV1: out(@K, V) :- #kv(@K, V).
+"""
+
+
+def kv_engine(batch_size, rows=()):
+    program = parse(KV_PROGRAM)
+    db = Database.for_program(program)
+    if rows:
+        db.load_facts("kv", rows)
+    engine = PSNEngine(program, db=db, batch_size=batch_size)
+    engine.fixpoint()
+    return engine
+
+
+def enqueue(engine, sign, args, force=False):
+    from repro.engine.facts import Fact
+    from repro.engine.psn import QueuedDelta
+    engine._enqueue(QueuedDelta(Fact("kv", args), sign, force))
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_transient_announce_withdraw_cancels(batch_size):
+    """+f then -f on an absent fact nets to nothing; batched processing
+    cancels the pair at the queue before any strand work."""
+    engine = kv_engine(batch_size)
+    enqueue(engine, 1, ("a", 1))
+    enqueue(engine, -1, ("a", 1))
+    engine.run()
+    assert engine.db.table("kv").rows() == []
+    assert engine.db.table("out").rows() == []
+    if batch_size > 1:
+        assert engine.cancelled == 2
+    else:
+        assert engine.cancelled == 0
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_minus_first_pair_is_not_cancelled(batch_size):
+    """-f then +f on an absent fact must leave f visible (the minus is a
+    no-op against the store); netting the pair would lose the insert."""
+    engine = kv_engine(batch_size)
+    enqueue(engine, -1, ("a", 1))
+    enqueue(engine, 1, ("a", 1))
+    engine.run()
+    assert engine.db.table("kv").rows() == [("a", 1)]
+    assert engine.db.table("out").rows() == [("a", 1)]
+    assert engine.cancelled == 0
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_forced_deletes_never_cancel(batch_size):
+    """delete() removes a fact regardless of derivation count; pairing
+    it with one insert intent would under-delete."""
+    engine = kv_engine(batch_size, rows=[("a", 1), ("a", 1)])  # count 2
+    assert engine.db.table("kv").count(("a", 1)) == 2
+    enqueue(engine, 1, ("a", 1))
+    engine.delete("kv", ("a", 1))
+    engine.run()
+    assert engine.db.table("kv").rows() == []
+    assert engine.cancelled == 0
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_replacement_blocks_cancellation(batch_size):
+    """[+g, +f, -f] with g and f sharing a primary key: cancelling the
+    f pair would leave g stored, but sequentially f replaces g and then
+    dies, leaving the key empty.  The uniform-key guard forces the whole
+    group down the sequential path."""
+    engine = kv_engine(batch_size)
+    enqueue(engine, 1, ("k", 1))   # g
+    enqueue(engine, 1, ("k", 2))   # f replaces g
+    enqueue(engine, -1, ("k", 2))  # f dies; key empty
+    engine.run()
+    assert engine.db.table("kv").rows() == []
+    assert engine.db.table("out").rows() == []
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_stored_conflicting_row_blocks_cancellation(batch_size):
+    """[+f, -f] where the key is held by a *different* stored row g:
+    sequentially f's insert destroys g (replacement) and f then dies,
+    leaving the key empty -- cancellation would resurrect g."""
+    engine = kv_engine(batch_size, rows=[("k", 1)])
+    enqueue(engine, 1, ("k", 2))
+    enqueue(engine, -1, ("k", 2))
+    engine.run()
+    assert engine.db.table("kv").rows() == []
+    assert engine.db.table("out").rows() == []
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_duplicate_then_delete_nets_to_count(batch_size):
+    """[+f, -f] on a fact stored with count 1: both paths end with
+    count 1 (the dup bump and the decrement annihilate)."""
+    engine = kv_engine(batch_size, rows=[("a", 1)])
+    enqueue(engine, 1, ("a", 1))
+    enqueue(engine, -1, ("a", 1))
+    engine.run()
+    assert engine.db.table("kv").count(("a", 1)) == 1
+    assert engine.db.table("out").rows() == [("a", 1)]
+
+
+def test_chunk_limit_is_exact():
+    """max_steps counts consumed deltas exactly, chunked or not."""
+    from repro.errors import EvaluationError
+    engine = kv_engine(64)
+    for i in range(10):
+        enqueue(engine, 1, (f"k{i}", i))
+    with pytest.raises(EvaluationError):
+        engine.run(max_steps=5)
+    assert engine.steps == 5

@@ -78,6 +78,28 @@ class TestSimulator:
         with pytest.raises(NetworkError):
             sim.at(1.0, lambda: None)
 
+    def test_post_interleaves_with_handled_events(self):
+        """post() events (no cancellation handle) run in time order and
+        tie-break by scheduling sequence, exactly like at()/after()."""
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append("at"))
+        sim.post(1.0, lambda: log.append("post"))
+        sim.post(0.5, lambda: log.append("early"))
+        with pytest.raises(NetworkError):
+            sim.post(-0.1, lambda: None)
+        sim.run()
+        assert log == ["early", "at", "post"]
+        assert sim.events_processed == 3
+
+    def test_run_counts_only_uncancelled_events(self):
+        sim = Simulator()
+        handle = sim.at(1.0, lambda: None)
+        handle.cancel()
+        sim.at(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
 
 class TestMessageSizes:
     def test_header_and_fields(self):

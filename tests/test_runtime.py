@@ -146,6 +146,53 @@ class TestStaticConvergence:
         assert curve[-1][1] == 1.0
 
 
+class TestBatchedTicks:
+    def test_batched_tick_books_full_cpu_time(self):
+        """A tick that consumes k deltas keeps the node booked for
+        k * cpu_delay of virtual CPU: throughput accounting must not
+        depend on cpu_batch (only sub-batch commit times may shift)."""
+        overlay = small_overlay(n=4, degree=2, seed=8)
+        program = parse(
+            """
+            materialize(item, infinity, infinity, keys(1, 2)).
+            materialize(echo, infinity, infinity, keys(1, 2)).
+            E1: echo(@S, X) :- #item(@S, X).
+            """
+        )
+        cluster = Cluster(overlay, program,
+                          RuntimeConfig(validate=False, cpu_batch=16),
+                          link_loads={})
+        node = overlay.nodes[0]
+        for i in range(10):
+            cluster.inject(node, "item", (node, i))
+        end = cluster.run()
+        # 10 item commits then 10 echo commits, all on one node: the
+        # first tick fires one cpu_delay after injection and each batch
+        # stays booked per delta, so quiescence lands at 20 delays.
+        assert end == pytest.approx(20 * cluster.config.cpu_delay)
+
+    def test_cpu_batch_preserves_convergence_regime(self):
+        """Batched and per-delta schedules process the same deltas and
+        converge in the same virtual-time regime."""
+        overlay = small_overlay(n=8, degree=2, seed=8)
+
+        def run(batch):
+            cluster = Cluster(
+                overlay, programs.shortest_path(),
+                RuntimeConfig(aggregate_selections=True, cpu_batch=batch),
+                link_loads={"link": "hopcount"},
+            )
+            end = cluster.run()
+            return end, cluster
+
+        end_batched, batched = run(16)
+        end_unbatched, unbatched = run(1)
+        assert cluster_costs(batched) == cluster_costs(unbatched)
+        # Same per-delta CPU accounting: end times agree within the
+        # sub-batch commit shift (deltas commit at batch start).
+        assert end_batched == pytest.approx(end_unbatched, rel=0.2)
+
+
 class TestDynamics:
     def test_link_update_reconverges(self, overlay):
         cluster = Cluster(

@@ -13,8 +13,7 @@ alongside the protocol and flags nodes whose route table is incomplete.
 Run:  python examples/distance_vector.py
 """
 
-from repro.ndlog import parse
-from repro.runtime import Cluster, RuntimeConfig
+import repro
 from repro.topology import build_overlay, transit_stub
 from repro.topology.neighborhood import hop_distances
 
@@ -30,23 +29,19 @@ MON: routeCount(@S, count<D>) :- bestRoute(@S, @D, @Z, C).
 Query: bestRoute(@S, @D, @Z, C).
 """
 
-program = parse(SOURCE, name="distance_vector")
+compiled = repro.compile(SOURCE, name="distance_vector",
+                         passes=["aggsel", "localize"])
 overlay = build_overlay(transit_stub(seed=33), n_nodes=20, degree=3, seed=33)
 
-cluster = Cluster(
-    overlay,
-    program,
-    RuntimeConfig(aggregate_selections=True),
-    link_loads={"link": "hopcount"},
-)
-cluster.run()
+deployment = compiled.deploy(topology=overlay, link_loads={"link": "hopcount"})
+deployment.advance()
 
 # Every node should know a best route to every other node.
 nodes = overlay.nodes
 print(f"{len(nodes)}-node overlay, hop-count distance vector")
 complete = True
 for node in nodes:
-    count_rows = cluster.rows("routeCount", node=node)
+    count_rows = deployment.rows("routeCount", node=node)
     (got,) = count_rows or {(node, 0)}
     if got[1] != len(nodes) - 1:
         complete = False
@@ -59,7 +54,7 @@ assert complete
 source = nodes[0]
 dist = hop_distances(overlay, source)
 print(f"\nroute table at {source}:")
-for s, d, nexthop, cost in sorted(cluster.rows("bestRoute", node=source))[:8]:
+for s, d, nexthop, cost in sorted(deployment.rows("bestRoute", node=source))[:8]:
     assert cost == dist[d], (d, cost, dist[d])
     assert nexthop in overlay.neighbors(source) or nexthop == d
     print(f"  to {d:5s} via {nexthop:5s} cost {cost}")

@@ -9,8 +9,9 @@ mid-flight, exactly like DSR route caches.
 Run:  python examples/dynamic_source_routing.py
 """
 
+import repro
 from repro.ndlog import programs
-from repro.runtime import CachePolicy, Cluster, RuntimeConfig
+from repro.runtime import CachePolicy, RuntimeConfig
 from repro.topology import build_overlay, transit_stub
 from repro.topology.neighborhood import hop_distances
 
@@ -21,30 +22,33 @@ overlay = build_overlay(transit_stub(seed=9), n_nodes=30, degree=3, seed=9)
 destination = overlay.nodes[-1]
 sources = overlay.nodes[:5]
 
+# One compiled artifact serves both runs; only the runtime config
+# (caching on/off) differs.
+compiled = repro.compile(programs.multi_query_magic(),
+                         passes=["aggsel", "localize"])
 
-def run(caching: bool) -> Cluster:
+
+def run(caching: bool) -> repro.Deployment:
     config = RuntimeConfig(
-        aggregate_selections=True,
         cache=CachePolicy(query_pred="pathQ__best") if caching else None,
     )
-    cluster = Cluster(
-        overlay,
-        programs.multi_query_magic(),
-        config,
+    deployment = compiled.deploy(
+        topology=overlay,
+        config=config,
         link_loads={"link": "hopcount"},
     )
     # Queries staggered half a second apart, as a real client would
     # issue them; each is a magicQuery(@src, qid, @dst) fact at the
     # source node.
     for index, src in enumerate(sources):
-        cluster.sim.at(
+        deployment.at(
             0.5 * index,
-            lambda s=src, q=f"route{index}": cluster.inject(
+            lambda s=src, q=f"route{index}": deployment.inject(
                 s, "magicQuery", (s, q, destination)
             ),
         )
-    cluster.run()
-    return cluster
+    deployment.advance()
+    return deployment
 
 
 plain = run(caching=False)

@@ -12,25 +12,27 @@ Run:  python examples/network_dynamics.py
 
 import heapq
 
+import repro
 from repro.ndlog import programs
-from repro.runtime import Cluster, LinkUpdateDriver, RuntimeConfig
+from repro.runtime import LinkUpdateDriver, RuntimeConfig
 from repro.topology import build_overlay, transit_stub
 
 overlay = build_overlay(transit_stub(seed=21), n_nodes=24, degree=3, seed=21)
 
 # The protocol form of the query: each (src, dst, nexthop) slot holds
 # the neighbour's latest advertisement (see DESIGN.md).
-cluster = Cluster(
-    overlay,
-    programs.shortest_path_dynamic(),
-    RuntimeConfig(aggregate_selections=True, buffer_interval=0.2),
+deployment = repro.compile(
+    programs.shortest_path_dynamic(), passes=["aggsel", "localize"]
+).deploy(
+    topology=overlay,
+    config=RuntimeConfig(buffer_interval=0.2),
     link_loads={"link": "random"},
 )
-driver = LinkUpdateDriver(cluster, metric="random", fraction=0.10,
+driver = LinkUpdateDriver(deployment.cluster, metric="random", fraction=0.10,
                           magnitude=0.10, seed=2)
 
-cluster.run()
-initial_bytes = cluster.stats.total_bytes()
+deployment.advance()
+initial_bytes = deployment.stats.total_bytes()
 print(f"initial convergence: {initial_bytes / 1e6:.3f} MB")
 
 
@@ -58,10 +60,10 @@ def dijkstra(costs, nodes):
 
 
 for burst_number in range(1, 4):
-    before = cluster.stats.total_bytes()
+    before = deployment.stats.total_bytes()
     record = driver.apply_burst()
-    cluster.run()
-    spent = (cluster.stats.total_bytes() - before) / 1e6
+    deployment.advance()
+    spent = (deployment.stats.total_bytes() - before) / 1e6
     print(f"\nburst {burst_number}: {len(record.updated_links)} links updated, "
           f"re-convergence cost {spent:.3f} MB "
           f"({100 * spent * 1e6 / initial_bytes:.0f}% of from-scratch)")
@@ -69,7 +71,7 @@ for burst_number in range(1, 4):
     # Verify eventual consistency against ground truth.
     want = dijkstra(driver.costs, overlay.nodes)
     got = {}
-    for s, d, _p, c in cluster.rows("shortestPath"):
+    for s, d, _p, c in deployment.rows("shortestPath"):
         if s != d:
             got[(s, d)] = min(c, got.get((s, d), float("inf")))
     mismatches = sum(

@@ -1,5 +1,6 @@
-"""Quickstart: parse an NDlog program and run it, centrally and then
-distributed over a simulated network.
+"""Quickstart: one front door from NDlog source to a live declarative
+network -- ``repro.compile()`` -> ``CompiledProgram`` -> ``run()`` /
+``deploy()``.
 
 This walks the paper's running example (Figure 1 / Figure 2): the
 all-pairs shortest-path query over the five-node network of Section 2.2.
@@ -7,9 +8,8 @@ all-pairs shortest-path query over the five-node network of Section 2.2.
 Run:  python examples/quickstart.py
 """
 
-from repro.engine import Database, psn
-from repro.ndlog import parse, validate
-from repro.runtime import Cluster, RuntimeConfig
+import repro
+from repro.runtime import RuntimeConfig
 from repro.topology import build_overlay, transit_stub
 
 # ----------------------------------------------------------------------
@@ -28,14 +28,23 @@ SP4: shortestPath(@S, @D, P, C) :- spCost(@S, @D, C), path(@S, @D, @Z, P, C).
 Query: shortestPath(@S, @D, P, C).
 """
 
-program = parse(SOURCE, name="quickstart")
-report = validate(program, strict_address_types=False)
+# ----------------------------------------------------------------------
+# 2. Compile: parse + validate + the optimization-pass pipeline
+#    (aggregate selections by default; localization is appended
+#    automatically at deploy time).  ``explain()`` shows what each pass
+#    did to the rules and the final compiled join plans.
+# ----------------------------------------------------------------------
+compiled = repro.compile(SOURCE, name="quickstart",
+                         passes=["aggsel", "localize"])
+report = compiled.report
 print(f"program valid: {report.ok}")
 print(f"local rules: {report.local_rules}  "
       f"link-restricted: {report.link_restricted_rules}")
+print()
+print(compiled.explain())
 
 # ----------------------------------------------------------------------
-# 2. Centralized evaluation with pipelined semi-naive (Algorithm 3) on
+# 3. Centralized evaluation with pipelined semi-naive (Algorithm 3) on
 #    Figure 2's example network.
 # ----------------------------------------------------------------------
 FIGURE2_LINKS = [
@@ -46,9 +55,7 @@ FIGURE2_LINKS = [
     ("e", "a", 1), ("a", "e", 1),
 ]
 
-db = Database.for_program(program)
-db.load_facts("link", FIGURE2_LINKS)
-result = psn.evaluate(program, db)
+result = compiled.run(engine="psn", facts={"link": FIGURE2_LINKS})
 
 print("\ncentralized PSN results (Figure 2's network):")
 for s, d, p, c in sorted(result.rows("shortestPath")):
@@ -59,28 +66,30 @@ for s, d, p, c in sorted(result.rows("shortestPath")):
 assert ("a", "b", ("a", "c", "b"), 2) in result.rows("shortestPath")
 
 # ----------------------------------------------------------------------
-# 3. The same program, deployed distributed: localized (Algorithm 2),
-#    one PSN dataflow per node, communication only along links.
+# 4. The same compiled artifact, deployed distributed: localized
+#    (Algorithm 2), one PSN dataflow per node, communication only
+#    along links.
 # ----------------------------------------------------------------------
 overlay = build_overlay(transit_stub(seed=42), n_nodes=24, degree=3, seed=42)
-cluster = Cluster(
-    overlay,
-    program,
-    RuntimeConfig(aggregate_selections=True),
+deployment = compiled.deploy(
+    topology=overlay,
+    config=RuntimeConfig(),
     link_loads={"link": "latency"},
 )
-tracker = cluster.watch("shortestPath")
-cluster.run()
+tracker = deployment.watch("shortestPath")
+deployment.advance()
 
+stats = deployment.stats
 print(f"\ndistributed run: {len(overlay.nodes)} nodes, "
       f"{len(overlay.links)} overlay links")
 print(f"  converged at t={tracker.convergence_time():.2f}s (virtual)")
-print(f"  messages={cluster.stats.messages}  "
-      f"traffic={cluster.stats.total_mb():.2f} MB  "
-      f"peak={cluster.stats.peak_per_node_kbps(len(overlay.nodes)):.1f} kBps/node")
+print(f"  messages={stats.messages}  "
+      f"traffic={stats.total_mb():.2f} MB  "
+      f"peak={stats.peak_per_node_kbps(len(overlay.nodes)):.1f} kBps/node")
 
 node0 = overlay.nodes[0]
-routes = sorted(cluster.rows("shortestPath", node=node0))[:5]
+routes = sorted(deployment.rows("shortestPath", node=node0))[:5]
 print(f"  first routes installed at {node0}:")
 for s, d, p, c in routes:
     print(f"    {s} -> {d} via {'->'.join(p)} (latency {c:.1f} ms)")
+assert deployment.quiescent

@@ -8,21 +8,62 @@ under network dynamics, and the paper's query optimizations, together
 with an experiment harness that regenerates every figure of the paper's
 evaluation section.
 
+The public surface is the staged lifecycle of :mod:`repro.api` -- one
+front door from source text to a live (simulated) declarative network:
+
 Quickstart::
 
-    from repro.ndlog import programs
-    from repro.engine import Database, seminaive
+    import repro
 
-    program = programs.shortest_path_safe()
-    db = Database.for_program(program)
-    db.load_facts("link", [("a", "b", 1), ("b", "c", 2)])
-    result = seminaive.evaluate(program, db)
-    print(result.table("shortestPath").rows())
+    compiled = repro.compile('''
+        SP1: path(@S, @D, @D, P, C) :- #link(@S, @D, C),
+             P := f_concatPath(link(@S, @D, C), nil).
+        SP2: path(@S, @D, @Z, P, C) :- #link(@S, @Z, C1),
+             path(@Z, @D, @Z2, P2, C2), f_member(P2, S) == 0,
+             C := C1 + C2, P := f_concatPath(link(@S, @Z, C1), P2).
+        SP3: spCost(@S, @D, min<C>) :- path(@S, @D, @Z, P, C).
+        SP4: shortestPath(@S, @D, P, C) :- spCost(@S, @D, C),
+             path(@S, @D, @Z, P, C).
+        Query: shortestPath(@S, @D, P, C).
+    ''')
+    print(compiled.explain())                 # pass diffs + join plans
+    result = compiled.run(engine="psn",
+                          facts={"link": [("a", "b", 1), ("b", "c", 2)]})
+    print(result.rows("shortestPath"))
 
-See ``examples/`` for distributed runs on simulated topologies.
+    deployment = compiled.deploy(n_nodes=24, degree=3)  # distributed
+    deployment.advance()                                # run to quiescence
+    print(deployment.query_rows())
+
+See ``examples/`` for full walkthroughs on simulated topologies.
 """
 
 from repro import ndlog  # noqa: F401
-from repro.ndlog import programs  # noqa: F401  (re-export for convenience)
+from repro.api import (
+    DEFAULT_REGISTRY,
+    CompiledProgram,
+    Deployment,
+    Pass,
+    PassRegistry,
+    compile,
+)
+from repro.engine import Database
+from repro.ndlog import parse, programs, validate  # noqa: F401
+from repro.runtime import Cluster, RuntimeConfig
 
-__version__ = "1.0.0"
+__all__ = [
+    "compile",
+    "CompiledProgram",
+    "Deployment",
+    "Pass",
+    "PassRegistry",
+    "DEFAULT_REGISTRY",
+    "Database",
+    "parse",
+    "validate",
+    "programs",
+    "Cluster",
+    "RuntimeConfig",
+]
+
+__version__ = "1.1.0"

@@ -1,0 +1,884 @@
+"""One front door for the reproduction: a staged ``compile() ->
+CompiledProgram -> run()/deploy()`` lifecycle.
+
+The paper's system (P2) treats an NDlog program as a single artifact
+that is parsed, rewritten, and then executed either centrally or
+distributed.  This module exposes that lifecycle behind one surface:
+
+* :func:`compile` parses (if needed), validates, and pushes the program
+  through an explicit, introspectable **optimization-pass pipeline** --
+  the rewrites of Sections 3-5 (aggregate selections, magic sets,
+  predicate reordering, cost-based join ordering, the textual semi-naive
+  rewrite, and rule localization) registered as named, ordered,
+  toggleable passes in a :class:`PassRegistry`, with a before/after
+  :class:`~repro.ndlog.ast.Program` snapshot recorded per pass;
+* the returned :class:`CompiledProgram` is the compiled artifact:
+  :meth:`~CompiledProgram.explain` pretty-prints the per-pass rule
+  diffs and the final join plans, :meth:`~CompiledProgram.run`
+  evaluates centrally on any of the four engines, and
+  :meth:`~CompiledProgram.deploy` stands up a simulated declarative
+  network, returning a :class:`Deployment` handle;
+* :class:`Deployment` wraps :class:`~repro.runtime.cluster.Cluster`
+  with the live-system verbs: ``inject`` / ``update`` / ``delete`` /
+  ``watch`` / ``subscribe`` / ``advance`` / ``query_rows``.
+
+Quickstart::
+
+    import repro
+
+    compiled = repro.compile(SOURCE)          # parse + validate + passes
+    print(compiled.explain())                 # per-pass diffs, join plans
+    result = compiled.run(engine="psn", facts={"link": LINKS})
+    deployment = compiled.deploy(topology=overlay)
+    deployment.advance()                      # run to quiescence
+    deployment.query_rows()
+
+Pass and engine failures raise the :mod:`repro.errors` taxonomy
+(:class:`~repro.errors.PlanError` with the pass name attached,
+:class:`~repro.errors.EvaluationError` with the engine name attached)
+instead of leaking bare ``ValueError``/``KeyError`` from rewrite
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.engine import bsn, naive, psn, seminaive
+from repro.engine.database import Database
+from repro.engine.fixpoint import EvalResult
+from repro.engine.rules import (
+    AssignStep,
+    CompiledRule,
+    LiteralStep,
+    compile_plan,
+)
+from repro.errors import (
+    EvaluationError,
+    NDlogValidationError,
+    NetworkError,
+    PlanError,
+    ReproError,
+)
+from repro.ndlog.ast import Literal, Program
+from repro.ndlog.parser import parse
+from repro.ndlog.pretty import (
+    format_literal,
+    format_materialization,
+    format_program,
+    format_rule,
+    format_term,
+)
+from repro.ndlog.validator import ValidationReport
+from repro.ndlog.validator import validate as validate_program
+from repro.opt import aggsel as _aggsel
+from repro.opt.costbased import StatsCatalog
+from repro.planner.localization import localize as _localize
+from repro.planner.magic import magic_rewrite as _magic_rewrite
+from repro.planner.reorder import (
+    greedy_join_order,
+    reorder_body,
+    reorder_program,
+)
+from repro.planner.seminaive_rewrite import seminaive_rewrite as _sn_rewrite
+
+__all__ = [
+    "Pass",
+    "PassRegistry",
+    "PassSnapshot",
+    "DEFAULT_REGISTRY",
+    "ENGINES",
+    "compile",
+    "CompiledProgram",
+    "Deployment",
+]
+
+#: Engine name -> ``evaluate(program, db, **opts)`` entry point.  This
+#: table is the single place engine selection is decided; everything
+#: else (the :mod:`repro.core` shims, examples, experiments) routes
+#: through :meth:`CompiledProgram.run`.
+ENGINES: Dict[str, Callable[..., EvalResult]] = {
+    "naive": naive.evaluate,
+    "seminaive": seminaive.evaluate,
+    "bsn": bsn.evaluate,
+    "psn": psn.evaluate,
+}
+
+
+# ----------------------------------------------------------------------
+# The pass registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Pass:
+    """One named program rewrite in the compile pipeline.
+
+    ``semantics_preserving`` means the rewrite preserves the fixpoint of
+    the program's *query predicate* (magic sets restrict it to the
+    query-matching tuples); passes without the property (the textual
+    semi-naive rewrite renames every derived relation) are inspection
+    devices and excluded from the pipeline-equivalence guarantees.
+    ``default`` marks passes that run when :func:`compile` is called
+    without an explicit ``passes`` list.
+    """
+
+    name: str
+    fn: Callable[..., Program]
+    description: str
+    semantics_preserving: bool = True
+    default: bool = False
+
+
+class PassRegistry:
+    """Named, ordered, toggleable program-rewrite passes.
+
+    Registration order is the canonical pipeline order: it is the order
+    the default pipeline runs in, and the order listed by
+    :meth:`describe`.  Callers of :func:`compile` may enable any subset
+    in any order.
+    """
+
+    def __init__(self, passes: Sequence[Pass] = ()):
+        self._passes: Dict[str, Pass] = {}
+        for pass_ in passes:
+            self.register(pass_)
+
+    def register(self, pass_: Pass, replace: bool = False) -> Pass:
+        if pass_.name in self._passes and not replace:
+            raise PlanError(f"pass {pass_.name!r} already registered")
+        self._passes[pass_.name] = pass_
+        return pass_
+
+    def get(self, name: str) -> Pass:
+        pass_ = self._passes.get(name)
+        if pass_ is None:
+            raise PlanError(
+                f"unknown pass {name!r}; registered passes: "
+                f"{', '.join(self.names())}"
+            )
+        return pass_
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._passes)
+
+    def default_pipeline(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self._passes.values() if p.default)
+
+    def semantics_preserving_names(self) -> Tuple[str, ...]:
+        return tuple(
+            p.name for p in self._passes.values() if p.semantics_preserving
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._passes
+
+    def __iter__(self):
+        return iter(self._passes.values())
+
+    def resolve(
+        self,
+        passes: Optional[Sequence[Union[str, Pass, Tuple]]],
+    ) -> List[Tuple[Pass, Dict[str, object]]]:
+        """Normalize a user pass list into ``(Pass, options)`` pairs.
+
+        ``None`` selects the default pipeline; entries may be pass
+        names, ``(name, options)`` pairs, or :class:`Pass` objects.
+        """
+        if passes is None:
+            passes = self.default_pipeline()
+        resolved: List[Tuple[Pass, Dict[str, object]]] = []
+        for entry in passes:
+            options: Dict[str, object] = {}
+            if isinstance(entry, tuple):
+                if len(entry) != 2 or not isinstance(entry[1], dict):
+                    raise PlanError(
+                        f"tuple pass specifiers must be (name, options "
+                        f"dict); got {entry!r}"
+                    )
+                entry, options = entry
+            if isinstance(entry, Pass):
+                pass_ = entry
+            elif isinstance(entry, str):
+                pass_ = self.get(entry)
+            else:
+                raise PlanError(f"bad pass specifier {entry!r}")
+            resolved.append((pass_, dict(options)))
+        return resolved
+
+    def describe(self) -> List[Tuple[str, str, str, str]]:
+        """Rows of ``(name, default, semantics, description)`` for docs
+        and ``explain()`` headers."""
+        return [
+            (
+                p.name,
+                "on" if p.default else "off",
+                "preserving" if p.semantics_preserving else "inspection",
+                p.description,
+            )
+            for p in self._passes.values()
+        ]
+
+
+# ----------------------------------------------------------------------
+# The passes (wrappers over the planner/opt modules)
+# ----------------------------------------------------------------------
+def _recursive_preds(program: Program) -> List[str]:
+    """Predicates defined by at least one directly-recursive rule."""
+    out = []
+    for rule in program.rules:
+        pred = rule.head.pred
+        if pred in out:
+            continue
+        if any(lit.pred == pred for lit in rule.body_literals):
+            out.append(pred)
+    return sorted(out)
+
+
+def _pass_magic(program: Program, query: Optional[Literal] = None) -> Program:
+    """Magic-sets rewrite (Section 5.1.2) for the program's query (or an
+    explicit ``query`` literal); degenerates to the identity when the
+    query binds nothing."""
+    return _magic_rewrite(program, query=query)
+
+
+def _pass_aggsel(program: Program, specs=None) -> Program:
+    """Aggregate selections (Section 5.1.1): prune recursion through
+    group-optimal ``__best`` views of monotonic aggregates."""
+    return _aggsel.rewrite(program, specs=specs)
+
+
+def _pass_reorder(
+    program: Program, pred: Optional[str] = None, to_left: bool = False
+) -> Program:
+    """Recursion-orientation flip (Section 5.1.2): move the recursive
+    literal first (``to_left=True``, Top-Down) or last (Bottom-Up) in
+    the bodies of ``pred`` (default: every directly-recursive
+    predicate)."""
+    preds = [pred] if pred is not None else _recursive_preds(program)
+    for recursive_pred in preds:
+        program = reorder_program(program, recursive_pred, to_left)
+    return program
+
+
+def _pass_costbased(
+    program: Program,
+    sizes: Optional[Dict[str, float]] = None,
+    default_rows: float = StatsCatalog.DEFAULT_ROWS,
+) -> Program:
+    """Cost-based join ordering (Section 5.3): greedily reorder each
+    rule body by bound-ness then estimated candidate count from a
+    :class:`~repro.opt.costbased.StatsCatalog` (``sizes`` maps relation
+    names to cardinality estimates)."""
+    stats = StatsCatalog(sizes, default_rows=default_rows)
+    rules = []
+    for rule in program.rules:
+        literals = list(rule.body_literals)
+        if len(literals) > 1:
+            order = greedy_join_order(
+                list(enumerate(literals)), set(), stats=stats
+            )
+            rule = reorder_body(rule, order)
+        rules.append(rule)
+    return Program(
+        rules=rules,
+        facts=list(program.facts),
+        materializations=dict(program.materializations),
+        query=program.query,
+        name=program.name,
+    )
+
+
+def _pass_seminaive(program: Program, recursive_preds=None) -> Program:
+    """The textual semi-naive delta rewrite (Section 3.1); an inspection
+    rewrite -- it renames derived relations, so it is not part of the
+    semantics-preserving pipeline."""
+    return _sn_rewrite(program, recursive_preds=recursive_preds)
+
+
+def _pass_localize(program: Program) -> Program:
+    """Rule localization (Algorithm 2): rewrite every link-restricted
+    rule so each body executes at a single node, with communication only
+    along links."""
+    return _localize(program)
+
+
+def default_registry() -> PassRegistry:
+    """The stock registry wrapping the planner/opt rewrites.  The
+    registration order is the canonical pipeline order."""
+    return PassRegistry([
+        Pass(
+            "magic", _pass_magic,
+            "magic-sets rewrite for a bound query (Section 5.1.2)",
+            semantics_preserving=True, default=False,
+        ),
+        Pass(
+            "aggsel", _pass_aggsel,
+            "aggregate selections: prune via group-optimal views "
+            "(Section 5.1.1)",
+            semantics_preserving=True, default=True,
+        ),
+        Pass(
+            "reorder", _pass_reorder,
+            "flip recursion orientation (TD/BU, Section 5.1.2)",
+            semantics_preserving=True, default=False,
+        ),
+        Pass(
+            "costbased", _pass_costbased,
+            "greedy selectivity-driven body reorder (Section 5.3)",
+            semantics_preserving=True, default=False,
+        ),
+        Pass(
+            "seminaive", _pass_seminaive,
+            "textual semi-naive delta rewrite (Section 3.1, inspection)",
+            semantics_preserving=False, default=False,
+        ),
+        Pass(
+            "localize", _pass_localize,
+            "rule localization for distributed execution (Algorithm 2)",
+            semantics_preserving=True, default=False,
+        ),
+    ])
+
+
+#: The registry :func:`compile` uses unless given another one.
+DEFAULT_REGISTRY = default_registry()
+
+
+def _apply_pass(
+    pass_: Pass, program: Program, options: Dict[str, object]
+) -> Program:
+    """Run one pass with taxonomy-enforcing error wrapping: anything
+    that escapes is a :class:`PlanError` carrying the pass name."""
+    try:
+        result = pass_.fn(program, **options)
+    except PlanError as exc:
+        if exc.pass_name is not None:
+            raise
+        # Re-wrap from the raw message so an already-rendered "[rule ...]"
+        # prefix is not duplicated.
+        raise PlanError(
+            exc.raw_message, pass_name=pass_.name, rule=exc.rule
+        ) from exc
+    except ReproError as exc:
+        raise PlanError(str(exc), pass_name=pass_.name) from exc
+    except Exception as exc:  # bare ValueError/KeyError/TypeError etc.
+        raise PlanError(
+            f"{type(exc).__name__}: {exc}", pass_name=pass_.name
+        ) from exc
+    if not isinstance(result, Program):
+        raise PlanError(
+            f"pass returned {type(result).__name__}, not a Program",
+            pass_name=pass_.name,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Snapshots and the compiled artifact
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PassSnapshot:
+    """Before/after record of one pass application."""
+
+    name: str
+    options: Dict[str, object]
+    before: Program
+    after: Program
+
+    @property
+    def changed(self) -> bool:
+        return format_program(self.before) != format_program(self.after)
+
+    def _rule_texts(self, program: Program) -> List[str]:
+        return [format_rule(rule) for rule in program.rules]
+
+    @property
+    def removed_rules(self) -> List[str]:
+        after = set(self._rule_texts(self.after))
+        return [t for t in self._rule_texts(self.before) if t not in after]
+
+    @property
+    def added_rules(self) -> List[str]:
+        before = set(self._rule_texts(self.before))
+        return [t for t in self._rule_texts(self.after) if t not in before]
+
+    @property
+    def added_materializations(self) -> List[str]:
+        before = {
+            format_materialization(m)
+            for m in self.before.materializations.values()
+        }
+        return [
+            text
+            for text in (
+                format_materialization(m)
+                for m in self.after.materializations.values()
+            )
+            if text not in before
+        ]
+
+
+def _describe_plan(plan) -> str:
+    """One-line rendering of a compiled join plan's step chain."""
+    parts: List[str] = []
+    for step in plan.steps:
+        if isinstance(step, LiteralStep):
+            text = format_literal(step.literal)
+            if step.positions:
+                text += f" [probe {','.join(map(str, step.positions))}]"
+            else:
+                text += " [scan]"
+            parts.append(text)
+        elif isinstance(step, AssignStep):
+            parts.append(f"{step.name} := {format_term(step.expr)}")
+        else:
+            parts.append(f"if {format_term(step.expr)}")
+    return " -> ".join(parts) if parts else "(empty body)"
+
+
+class CompiledProgram:
+    """The artifact :func:`compile` returns: the final rewritten
+    :class:`Program`, the original, the per-pass trace, and the staged
+    execution verbs (:meth:`run` central, :meth:`deploy` distributed,
+    :meth:`explain` introspection)."""
+
+    def __init__(
+        self,
+        source: Program,
+        program: Program,
+        trace: Tuple[PassSnapshot, ...],
+        report: Optional[ValidationReport] = None,
+        registry: Optional[PassRegistry] = None,
+    ):
+        self.source = source
+        self.program = program
+        self.trace = tuple(trace)
+        self.report = report
+        self.registry = registry or DEFAULT_REGISTRY
+
+    # -- introspection --------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.program.name or self.source.name or "program"
+
+    @property
+    def applied_passes(self) -> Tuple[str, ...]:
+        return tuple(snap.name for snap in self.trace)
+
+    @property
+    def pass_specs(self) -> Tuple[Tuple[str, Dict[str, object]], ...]:
+        return tuple((snap.name, dict(snap.options)) for snap in self.trace)
+
+    def before_pass(self, name: str) -> Optional[Program]:
+        """The program as it stood entering the first application of
+        pass ``name`` (``None`` if the pass never ran)."""
+        for snap in self.trace:
+            if snap.name == name:
+                return snap.before
+        return None
+
+    def after_pass(self, name: str) -> Optional[Program]:
+        """The program right after the last application of ``name``."""
+        result = None
+        for snap in self.trace:
+            if snap.name == name:
+                result = snap.after
+        return result
+
+    def __repr__(self) -> str:
+        passes = ", ".join(self.applied_passes) or "none"
+        return (
+            f"CompiledProgram({self.name!r}, passes=[{passes}], "
+            f"rules={len(self.program.rules)})"
+        )
+
+    def explain(self, join_plans: bool = True) -> str:
+        """Human-readable compilation report: validation summary,
+        per-pass rule diffs, the final rewritten program, and (by
+        default) the compiled join plan of every rule."""
+        lines: List[str] = []
+        lines.append(f"== compiled program {self.name!r} ==")
+        pipeline = ", ".join(self.applied_passes) or "(none)"
+        lines.append(f"passes: {pipeline}")
+        if self.report is not None:
+            status = "ok" if self.report.ok else "FAILED"
+            lines.append(
+                f"validation: {status} "
+                f"({len(self.report.local_rules)} local rules, "
+                f"{len(self.report.link_restricted_rules)} link-restricted)"
+            )
+        for snap in self.trace:
+            header = f"-- pass {snap.name}"
+            if snap.options:
+                opts = ", ".join(
+                    f"{k}={v!r}" for k, v in sorted(snap.options.items())
+                )
+                header += f" ({opts})"
+            if not snap.changed:
+                lines.append(f"{header}: no change")
+                continue
+            lines.append(f"{header}:")
+            for text in snap.removed_rules:
+                lines.append(f"  - {text}")
+            for text in snap.added_rules:
+                lines.append(f"  + {text}")
+            for text in snap.added_materializations:
+                lines.append(f"  + {text}")
+        lines.append("-- rewritten program --")
+        lines.append(format_program(self.program).rstrip())
+        if join_plans:
+            lines.append("-- join plans --")
+            stats = StatsCatalog()
+            for rule in self.program.rules:
+                if not rule.body:
+                    continue
+                crule = CompiledRule(rule)
+                plan = compile_plan(crule, stats=stats)
+                label = crule.label or rule.head.pred
+                suffix = ""
+                if crule.aggregate is not None:
+                    suffix = " (aggregate view)"
+                elif crule.argmin is not None:
+                    suffix = " (arg-extreme view)"
+                lines.append(f"{label}{suffix}: {_describe_plan(plan)}")
+        return "\n".join(lines)
+
+    # -- derived artifacts ----------------------------------------------
+    def extended(
+        self,
+        passes: Sequence[Union[str, Pass, Tuple]],
+        registry: Optional[PassRegistry] = None,
+    ) -> "CompiledProgram":
+        """A new artifact with further passes applied on top of this
+        one's result (the trace is carried forward and extended).
+        ``registry`` resolves the new pass names (default: the registry
+        this artifact was compiled with) and becomes the result's
+        registry."""
+        registry = registry or self.registry
+        trace = list(self.trace)
+        current = self.program
+        for pass_, options in registry.resolve(passes):
+            before = current
+            current = _apply_pass(pass_, before, options)
+            trace.append(PassSnapshot(pass_.name, dict(options),
+                                      before, current))
+        return CompiledProgram(
+            source=self.source,
+            program=current,
+            trace=tuple(trace),
+            report=self.report,
+            registry=registry,
+        )
+
+    def localized(self) -> "CompiledProgram":
+        """This artifact with rule localization guaranteed to have run
+        (the deployable form); a no-op if ``localize`` already ran."""
+        if "localize" in self.applied_passes:
+            return self
+        return self.extended(["localize"])
+
+    # -- execution ------------------------------------------------------
+    def run(
+        self,
+        engine: str = "psn",
+        facts: Optional[Dict[str, Iterable[Tuple]]] = None,
+        db: Optional[Database] = None,
+        **engine_opts,
+    ) -> EvalResult:
+        """Centralized evaluation to fixpoint.
+
+        ``engine`` is one of ``naive`` / ``seminaive`` / ``bsn`` /
+        ``psn``; ``facts`` maps relation names to rows loaded before
+        evaluation; ``engine_opts`` pass through to the engine entry
+        point (``use_plans``, ``batch_size``, ``max_steps``, ...).
+        """
+        evaluate = ENGINES.get(engine)
+        if evaluate is None:
+            raise PlanError(
+                f"unknown engine {engine!r}; pick from {sorted(ENGINES)}"
+            )
+        if db is None:
+            db = Database.for_program(self.program)
+        for pred, rows in (facts or {}).items():
+            db.load_facts(pred, rows)
+        try:
+            return evaluate(self.program, db, **engine_opts)
+        except ReproError:
+            raise
+        except Exception as exc:  # taxonomy guarantee at the facade
+            raise EvaluationError(
+                f"{type(exc).__name__}: {exc}", engine=engine
+            ) from exc
+
+    def deploy(
+        self,
+        topology=None,
+        config=None,
+        link_loads: Optional[Dict[str, str]] = None,
+        n_nodes: int = 100,
+        degree: int = 4,
+        seed: int = 1,
+        metric: str = "latency",
+    ) -> "Deployment":
+        """Stand up the program as a distributed declarative network.
+
+        ``topology`` is an :class:`~repro.topology.overlay.Overlay`
+        (default: a transit-stub overlay built from ``n_nodes`` /
+        ``degree`` / ``seed``); ``config`` a
+        :class:`~repro.runtime.config.RuntimeConfig`; ``link_loads``
+        maps link relations to overlay metrics (default
+        ``{"link": metric}``).  Localization is applied automatically
+        if it has not run yet.  The network is *not* run; call
+        :meth:`Deployment.advance` on the returned handle.
+        """
+        from repro.runtime.cluster import Cluster
+        from repro.runtime.config import RuntimeConfig
+        from repro.topology import build_overlay, transit_stub
+
+        if topology is None:
+            topology = build_overlay(
+                transit_stub(seed=seed), n_nodes=n_nodes, degree=degree,
+                seed=seed,
+            )
+        if link_loads is None:
+            link_loads = {"link": metric}
+        compiled = self.localized()
+        cluster = Cluster(
+            topology, compiled, config or RuntimeConfig(),
+            link_loads=link_loads,
+        )
+        return Deployment(cluster, compiled)
+
+
+# ----------------------------------------------------------------------
+# compile()
+# ----------------------------------------------------------------------
+def compile(
+    source_or_program: Union[str, Program, CompiledProgram],
+    passes: Optional[Sequence[Union[str, Pass, Tuple]]] = None,
+    *,
+    strict: bool = True,
+    validate: bool = True,
+    strict_address_types: bool = False,
+    name: Optional[str] = None,
+    registry: Optional[PassRegistry] = None,
+) -> CompiledProgram:
+    """Compile NDlog source (or a parsed :class:`Program`) into a
+    :class:`CompiledProgram`.
+
+    ``passes`` selects and orders the optimization passes by name (see
+    :data:`DEFAULT_REGISTRY`); entries may be ``(name, options)`` pairs,
+    e.g. ``("reorder", {"pred": "path", "to_left": True})``.  ``None``
+    runs the registry's default pipeline; ``[]`` runs no passes.
+    ``strict=True`` raises :class:`NDlogValidationError` when validation
+    fails; ``strict=False`` records the report on the artifact and
+    continues.  ``validate=False`` skips validation entirely.
+
+    A :class:`CompiledProgram` input composes instead of restarting:
+    explicit ``passes`` are appended to its existing trace (see
+    :meth:`CompiledProgram.extended`, honouring ``registry``) and
+    ``passes=None`` returns the artifact unchanged -- the default
+    pipeline never runs twice.  The validation arguments do not apply
+    to an already-compiled artifact (its source was validated when it
+    was first compiled).
+    """
+    if isinstance(source_or_program, CompiledProgram):
+        # Re-compiling an artifact composes with what already ran: the
+        # trace is carried forward and only the explicitly requested
+        # passes are appended (running the *default* pipeline again on
+        # an already-rewritten program would double-apply rewrites).
+        if passes is None and registry is None:
+            return source_or_program
+        return source_or_program.extended(passes or [], registry=registry)
+    registry = registry or DEFAULT_REGISTRY
+    if isinstance(source_or_program, Program):
+        program = source_or_program
+    elif isinstance(source_or_program, str):
+        program = parse(source_or_program, name=name)
+    else:
+        raise PlanError(
+            f"cannot compile {type(source_or_program).__name__}; expected "
+            f"NDlog source, a Program, or a CompiledProgram"
+        )
+
+    report: Optional[ValidationReport] = None
+    if validate:
+        report = validate_program(
+            program, strict_address_types=strict_address_types
+        )
+        if strict and not report.ok:
+            raise NDlogValidationError(
+                f"program {program.name or '<anonymous>'!r} failed "
+                f"validation: " + "; ".join(report.errors)
+            )
+
+    trace: List[PassSnapshot] = []
+    current = program
+    for pass_, options in registry.resolve(passes):
+        before = current
+        current = _apply_pass(pass_, before, options)
+        trace.append(PassSnapshot(pass_.name, dict(options), before, current))
+
+    return CompiledProgram(
+        source=program,
+        program=current,
+        trace=tuple(trace),
+        report=report,
+        registry=registry,
+    )
+
+
+# ----------------------------------------------------------------------
+# The deployment handle
+# ----------------------------------------------------------------------
+class _Subscription:
+    """Adapter routing cluster commit observations to a callback."""
+
+    __slots__ = ("pred", "callback")
+
+    def __init__(self, pred: Optional[str], callback: Callable):
+        self.pred = pred
+        self.callback = callback
+
+    def on_commit(self, now: float, fact, sign: int) -> None:
+        if self.pred is None or fact.pred == self.pred:
+            self.callback(now, fact, sign)
+
+
+class Deployment:
+    """A live (simulated) declarative network -- one object from source
+    text to running distributed system.
+
+    Thin, stable facade over :class:`~repro.runtime.cluster.Cluster`:
+    data-plane verbs (``inject`` / ``update`` / ``delete``), observation
+    (``watch`` / ``subscribe`` / ``rows`` / ``query_rows``), and
+    lifecycle (``advance`` / ``quiescent``).  The underlying cluster
+    stays reachable as ``.cluster`` for simulator-level control.
+    """
+
+    def __init__(self, cluster, compiled: Optional[CompiledProgram] = None):
+        self.cluster = cluster
+        self.compiled = compiled if compiled is not None \
+            else getattr(cluster, "compiled", None)
+
+    # -- lifecycle ------------------------------------------------------
+    def advance(self, until: Optional[float] = None) -> float:
+        """Run the network until quiescence (or virtual time ``until``);
+        returns the final virtual time."""
+        return self.cluster.run(until=until)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Alias of :meth:`advance`."""
+        return self.advance(until=until)
+
+    @property
+    def quiescent(self) -> bool:
+        return self.cluster.quiescent
+
+    @property
+    def now(self) -> float:
+        return self.cluster.sim.now
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at virtual ``time`` (workload injection)."""
+        self.cluster.sim.at(time, fn)
+
+    # -- data plane -----------------------------------------------------
+    def _node(self, node: str):
+        runtime = self.cluster.nodes.get(node)
+        if runtime is None:
+            raise NetworkError(
+                f"unknown node {node!r}; this deployment has "
+                f"{len(self.cluster.nodes)} nodes"
+            )
+        return runtime
+
+    def inject(self, node: str, pred: str, args: Tuple) -> None:
+        """Insert a base tuple at ``node`` (e.g. a magic seed fact)."""
+        self._node(node).insert(pred, tuple(args))
+
+    def update(self, node: str, pred: str, args: Tuple) -> None:
+        """Update a base tuple at ``node``: a primary-key match commits
+        as a deletion of the old row followed by this insertion."""
+        self._node(node).update(pred, tuple(args))
+
+    def delete(self, node: str, pred: str, args: Tuple) -> None:
+        """Delete a base tuple at ``node`` outright."""
+        self._node(node).delete(pred, tuple(args))
+
+    # -- observation ----------------------------------------------------
+    def watch(self, pred: str):
+        """Track completion times for ``pred``; returns the
+        :class:`~repro.net.stats.ResultTracker`."""
+        return self.cluster.watch(pred)
+
+    def subscribe(
+        self, pred: Optional[str], callback: Callable
+    ) -> Callable[[], None]:
+        """Call ``callback(time, fact, sign)`` on every visible commit
+        of ``pred`` anywhere in the network (``pred=None`` observes
+        every relation).  Returns an unsubscribe callable."""
+        subscription = _Subscription(pred, callback)
+        self.cluster.trackers.append(subscription)
+
+        def unsubscribe() -> None:
+            if subscription in self.cluster.trackers:
+                self.cluster.trackers.remove(subscription)
+
+        return unsubscribe
+
+    def rows(self, pred: str, node: Optional[str] = None) -> frozenset:
+        if node is not None:
+            return frozenset(self._node(node).db.table(pred).rows())
+        return self.cluster.rows(pred)
+
+    def query_rows(self) -> frozenset:
+        """Union of the query predicate's rows across all nodes."""
+        return self.cluster.query_rows()
+
+    # -- surfaces -------------------------------------------------------
+    @property
+    def overlay(self):
+        return self.cluster.overlay
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    @property
+    def stats(self):
+        return self.cluster.stats
+
+    @property
+    def nodes(self):
+        return self.cluster.nodes
+
+    @property
+    def config(self):
+        return self.cluster.config
+
+    @property
+    def program(self) -> Program:
+        """The deployed (localized) program."""
+        return self.cluster.program
+
+    def explain(self, join_plans: bool = True) -> str:
+        if self.compiled is None:
+            return format_program(self.cluster.program)
+        return self.compiled.explain(join_plans=join_plans)
+
+    def __repr__(self) -> str:
+        return (
+            f"Deployment({self.cluster.program.name!r}, "
+            f"nodes={len(self.cluster.nodes)}, "
+            f"quiescent={self.quiescent})"
+        )

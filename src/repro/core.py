@@ -1,30 +1,43 @@
-"""High-level facade over the reproduction: one import for the common
-workflows.
+"""Deprecated facade -- thin shims over :mod:`repro.api`.
 
-* :func:`compile_program` -- parse + validate + optimize + localize;
-* :func:`run_centralized` -- evaluate a program on loaded facts with any
-  of the four engines;
-* :func:`deploy` -- stand up a simulated declarative network.
+This module predates the staged ``compile() -> CompiledProgram ->
+run()/deploy()`` API and is kept only so existing call sites keep
+working.  New code should use :func:`repro.compile` directly::
 
-The facade only composes the public APIs of the subpackages; everything
-it does can be done (with more control) through those directly.
+    import repro
+
+    compiled = repro.compile(source, passes=["aggsel"])
+    result = compiled.run(engine="psn", facts={"link": rows})
+    deployment = compiled.deploy(topology=overlay)
+
+Mapping from the old entry points:
+
+===========================  ==========================================
+old                          new
+===========================  ==========================================
+``core.compile_program``     ``repro.compile(...).program``
+``core.run_centralized``     ``repro.compile(...).run(engine=...)``
+``core.deploy``              ``repro.compile(...).deploy(...)``
+===========================  ==========================================
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Optional, Tuple, Union
 
-from repro.engine import Database, bsn, naive, psn, seminaive
+from repro.api import compile as _compile
+from repro.engine import bsn, naive, psn, seminaive
 from repro.engine.fixpoint import EvalResult
-from repro.errors import PlanError
 from repro.ndlog.ast import Program
-from repro.ndlog.parser import parse
-from repro.ndlog.validator import check
-from repro.opt import aggsel
-from repro.planner.localization import localize
 from repro.runtime import Cluster, RuntimeConfig
-from repro.topology import Overlay, build_overlay, transit_stub
+from repro.topology import Overlay
 
+
+#: Historical engine table: name -> engine *module* (the staged API's
+#: :data:`repro.api.ENGINES` maps names to ``evaluate`` functions
+#: instead; this shape is kept verbatim for old call sites doing
+#: ``core.ENGINES[name].evaluate(...)``).
 ENGINES = {
     "naive": naive,
     "seminaive": seminaive,
@@ -33,24 +46,30 @@ ENGINES = {
 }
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.core.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def compile_program(
     source_or_program: Union[str, Program],
     aggregate_selections: bool = False,
     localized: bool = False,
     validate: bool = True,
 ) -> Program:
-    """Parse (if needed), validate, and optionally rewrite a program."""
-    if isinstance(source_or_program, str):
-        program = parse(source_or_program)
-    else:
-        program = source_or_program
-    if validate:
-        check(program)
+    """Deprecated: use ``repro.compile(...).program``."""
+    _deprecated("compile_program", "repro.compile")
+    passes = []
     if aggregate_selections:
-        program = aggsel.rewrite(program)
+        passes.append("aggsel")
     if localized:
-        program = localize(program)
-    return program
+        passes.append("localize")
+    return _compile(
+        source_or_program, passes=passes, validate=validate, strict=True
+    ).program
 
 
 def run_centralized(
@@ -60,23 +79,13 @@ def run_centralized(
     aggregate_selections: bool = False,
     validate: bool = False,
 ) -> EvalResult:
-    """Evaluate a program to fixpoint on one node.
-
-    ``facts`` maps relation names to rows; ``engine`` is one of
-    ``naive`` / ``seminaive`` / ``bsn`` / ``psn``.
-    """
-    module = ENGINES.get(engine)
-    if module is None:
-        raise PlanError(f"unknown engine {engine!r}; pick from {sorted(ENGINES)}")
-    program = compile_program(
-        source_or_program,
-        aggregate_selections=aggregate_selections,
-        validate=validate,
+    """Deprecated: use ``repro.compile(...).run(engine=...)``."""
+    _deprecated("run_centralized", "repro.compile(...).run")
+    passes = ["aggsel"] if aggregate_selections else []
+    compiled = _compile(
+        source_or_program, passes=passes, validate=validate, strict=True
     )
-    db = Database.for_program(program)
-    for pred, rows in (facts or {}).items():
-        db.load_facts(pred, rows)
-    return module.evaluate(program, db)
+    return compiled.run(engine=engine, facts=facts)
 
 
 def deploy(
@@ -88,19 +97,18 @@ def deploy(
     metric: str = "latency",
     config: Optional[RuntimeConfig] = None,
 ) -> Cluster:
-    """Deploy a program on a simulated overlay (not yet run; call
-    ``cluster.run()``)."""
-    if isinstance(source_or_program, str):
-        program = parse(source_or_program)
-    else:
-        program = source_or_program
-    if overlay is None:
-        overlay = build_overlay(
-            transit_stub(seed=seed), n_nodes=n_nodes, degree=degree, seed=seed
-        )
-    return Cluster(
-        overlay,
-        program,
-        config or RuntimeConfig(aggregate_selections=True),
-        link_loads={"link": metric},
+    """Deprecated: use ``repro.compile(...).deploy(...)`` (which returns
+    a :class:`repro.api.Deployment`; this shim keeps returning the bare
+    :class:`Cluster`)."""
+    _deprecated("deploy", "repro.compile(...).deploy")
+    config = config or RuntimeConfig(aggregate_selections=True)
+    passes = ["aggsel"] if config.aggregate_selections else []
+    compiled = _compile(
+        source_or_program, passes=passes, validate=config.validate,
+        strict=True,
     )
+    deployment = compiled.deploy(
+        topology=overlay, config=config, n_nodes=n_nodes, degree=degree,
+        seed=seed, metric=metric,
+    )
+    return deployment.cluster

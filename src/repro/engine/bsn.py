@@ -65,7 +65,8 @@ class BSNEngine(PSNEngine):
             if taken >= max_steps:
                 raise EvaluationError(
                     f"BSN exceeded {max_steps} steps (non-terminating "
-                    f"program?)"
+                    f"program?)",
+                    engine="bsn",
                 )
             batch = self.scheduler(len(self.queue))
             if batch <= 0:

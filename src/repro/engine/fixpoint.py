@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
 from repro.engine.database import Database
+from repro.errors import PlanError
 from repro.ndlog.ast import Program
 from repro.ndlog.terms import Constant, evaluate
 
@@ -32,7 +33,7 @@ class EvalResult:
     def answers(self, program: Program) -> FrozenSet:
         """Rows of the program's query predicate (all rows if no query)."""
         if program.query is None:
-            raise ValueError("program has no query")
+            raise PlanError("program has no query")
         return self.rows(program.query.pred)
 
 

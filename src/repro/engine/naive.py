@@ -82,7 +82,8 @@ def evaluate(
                 raise EvaluationError(
                     f"naive evaluation exceeded {max_iterations} iterations "
                     f"on stratum {sorted(stratum.preds)} (non-terminating "
-                    f"program?)"
+                    f"program?)",
+                    engine="naive",
                 )
             changed = False
             for crule in plain:

@@ -328,7 +328,8 @@ class PSNEngine:
             if taken >= max_steps:
                 raise EvaluationError(
                     f"PSN exceeded {max_steps} steps (non-terminating "
-                    f"program?)"
+                    f"program?)",
+                    engine="psn",
                 )
             if chunk > 1:
                 taken += self.process_chunk(min(chunk, max_steps - taken))

@@ -153,8 +153,8 @@ class CompiledRule:
                                 return bindings[_name]
                             except KeyError:
                                 raise EvaluationError(
-                                    f"aggregate variable {_name!r} unbound "
-                                    f"in {_label}"
+                                    f"aggregate variable {_name!r} unbound",
+                                    rule=_label,
                                 ) from None
                         getters.append(agg_getter)
                     else:
@@ -1055,8 +1055,8 @@ def instantiate_head(
                     values.append(bindings[term.var])
                 except KeyError:
                     raise EvaluationError(
-                        f"aggregate variable {term.var!r} unbound in "
-                        f"{crule.label}"
+                        f"aggregate variable {term.var!r} unbound",
+                        rule=crule.label,
                     ) from None
             else:
                 values.append(1)  # count<*> contribution

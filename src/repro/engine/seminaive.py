@@ -133,7 +133,8 @@ def _evaluate_stratum(
         if iterations > max_iterations:
             raise EvaluationError(
                 f"semi-naive evaluation exceeded {max_iterations} iterations "
-                f"on stratum {sorted(stratum.preds)}"
+                f"on stratum {sorted(stratum.preds)}",
+                engine="seminaive",
             )
         # Flush: the previous iteration's new tuples become the deltas,
         # and are now visible in the full tables.

@@ -40,12 +40,49 @@ class SchemaError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised during query evaluation (unbound variables reaching a
-    function call, non-boolean conditions, unknown builtin functions)."""
+    function call, non-boolean conditions, unknown builtin functions).
+
+    ``engine`` and ``rule`` identify, when known, which engine raised
+    and which rule (by label) was firing; both are attached to the
+    message and kept as attributes for programmatic handling.
+    """
+
+    def __init__(self, message: str, engine: str = None, rule: str = None):
+        self.engine = engine
+        self.rule = rule
+        self.raw_message = message
+        context = []
+        if engine:
+            context.append(f"engine {engine!r}")
+        if rule:
+            context.append(f"rule {rule!r}")
+        if context:
+            message = f"[{', '.join(context)}] {message}"
+        super().__init__(message)
 
 
 class PlanError(ReproError):
     """Raised during plan generation (localization, magic-sets, or
-    strand compilation) when a program cannot be compiled."""
+    strand compilation) when a program cannot be compiled.
+
+    ``pass_name`` and ``rule`` identify, when known, which optimization
+    pass of the compile pipeline failed and which rule (by label) it was
+    processing; both are attached to the message and kept as attributes
+    for programmatic handling.
+    """
+
+    def __init__(self, message: str, pass_name: str = None, rule: str = None):
+        self.pass_name = pass_name
+        self.rule = rule
+        self.raw_message = message
+        context = []
+        if pass_name:
+            context.append(f"pass {pass_name!r}")
+        if rule:
+            context.append(f"rule {rule!r}")
+        if context:
+            message = f"[{', '.join(context)}] {message}"
+        super().__init__(message)
 
 
 class NetworkError(ReproError):

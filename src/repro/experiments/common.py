@@ -12,8 +12,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import api
 from repro.ndlog import programs
-from repro.runtime import Cluster, RuntimeConfig
+from repro.runtime import RuntimeConfig
 from repro.topology import Overlay, build_overlay, transit_stub
 
 #: The paper's four query variants, in its own label order.
@@ -90,28 +91,24 @@ def run_shortest_path_metric(
 ) -> MetricRun:
     """One line of Figures 7/8 (eager) or 9/10 (periodic)."""
     config = RuntimeConfig(
-        aggregate_selections=True,
         buffer_interval=periodic_interval,
         cpu_delay=cpu_delay,
     )
-    cluster = Cluster(
-        overlay,
-        programs.shortest_path(),
-        config,
-        link_loads={"link": metric},
-    )
-    tracker = cluster.watch("shortestPath")
-    cluster.run()
+    deployment = api.compile(
+        programs.shortest_path(), passes=["aggsel", "localize"]
+    ).deploy(topology=overlay, config=config, link_loads={"link": metric})
+    tracker = deployment.watch("shortestPath")
+    deployment.advance()
     node_count = len(overlay.nodes)
     return MetricRun(
         metric=metric,
         label=label or metric,
         convergence=tracker.convergence_time(),
-        total_mb=cluster.stats.total_mb(),
-        peak_kbps=cluster.stats.peak_per_node_kbps(node_count),
-        bandwidth_series=cluster.stats.per_node_kbps_series(node_count),
+        total_mb=deployment.stats.total_mb(),
+        peak_kbps=deployment.stats.peak_per_node_kbps(node_count),
+        bandwidth_series=deployment.stats.per_node_kbps_series(node_count),
         results_series=tracker.results_over_time(),
-        messages=cluster.stats.messages,
+        messages=deployment.stats.messages,
     )
 
 

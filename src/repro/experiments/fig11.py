@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import api
 from repro.experiments.common import (
     Scale,
     current_scale,
@@ -36,7 +37,7 @@ from repro.experiments.common import (
     format_table,
 )
 from repro.ndlog import programs
-from repro.runtime import CachePolicy, Cluster, RuntimeConfig
+from repro.runtime import CachePolicy, RuntimeConfig
 from repro.topology import Overlay
 from repro.topology.neighborhood import hop_distances
 
@@ -112,32 +113,28 @@ def run_magic_queries(
 ) -> Tuple[float, int]:
     """Run the multi-query magic program; returns (MB, cache hits)."""
     config = RuntimeConfig(
-        aggregate_selections=True,
         cache=CachePolicy(query_pred="pathQ__best") if caching else None,
     )
-    cluster = Cluster(
-        overlay,
-        programs.multi_query_magic(),
-        config,
-        link_loads={"link": "hopcount"},
-    )
+    deployment = api.compile(
+        programs.multi_query_magic(), passes=["aggsel", "localize"]
+    ).deploy(topology=overlay, config=config, link_loads={"link": "hopcount"})
     for index, (src, dst) in enumerate(queries):
         qid = f"q{index}"
-        cluster.sim.at(
+        deployment.at(
             index * QUERY_STAGGER,
-            lambda s=src, d=dst, q=qid: cluster.inject(s, "magicQuery",
-                                                       (s, q, d)),
+            lambda s=src, d=dst, q=qid: deployment.inject(s, "magicQuery",
+                                                          (s, q, d)),
         )
-    cluster.run()
+    deployment.advance()
     if verify:
-        _verify_answers(cluster, overlay, queries)
-    hits = sum(node.cache_hits for node in cluster.nodes.values())
-    return cluster.stats.total_mb(), hits
+        _verify_answers(deployment, overlay, queries)
+    hits = sum(node.cache_hits for node in deployment.nodes.values())
+    return deployment.stats.total_mb(), hits
 
 
-def _verify_answers(cluster, overlay, queries) -> None:
+def _verify_answers(deployment, overlay, queries) -> None:
     results = {}
-    for args in cluster.rows("queryResult"):
+    for args in deployment.rows("queryResult"):
         results[args[1]] = args[3]
     for index, (src, dst) in enumerate(queries):
         expected = hop_distances(overlay, src)[dst]
@@ -146,14 +143,11 @@ def _verify_answers(cluster, overlay, queries) -> None:
 
 
 def run_all_pairs_baseline(overlay: Overlay) -> float:
-    cluster = Cluster(
-        overlay,
-        programs.shortest_path(),
-        RuntimeConfig(aggregate_selections=True),
-        link_loads={"link": "hopcount"},
-    )
-    cluster.run()
-    return cluster.stats.total_mb()
+    deployment = api.compile(
+        programs.shortest_path(), passes=["aggsel", "localize"]
+    ).deploy(topology=overlay, link_loads={"link": "hopcount"})
+    deployment.advance()
+    return deployment.stats.total_mb()
 
 
 def run(

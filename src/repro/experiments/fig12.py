@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import api
 from repro.experiments.common import (
     MetricRun,
     Scale,
@@ -25,7 +26,7 @@ from repro.experiments.common import (
 )
 from repro.ndlog import programs
 from repro.ndlog.ast import Program
-from repro.runtime import Cluster, RuntimeConfig, ShareSpec
+from repro.runtime import RuntimeConfig, ShareSpec
 from repro.topology import Overlay
 
 SHARE_DELAY = 0.3  # "we delay each outbound tuple by 300ms"
@@ -106,17 +107,18 @@ class Fig12Result:
 def _run_merged(overlay: Overlay, share: bool) -> Tuple[float, float, list]:
     program, link_loads = merged_program()
     config = RuntimeConfig(
-        aggregate_selections=True,
         share_delay=SHARE_DELAY if share else None,
         share_specs=share_specs() if share else {},
     )
-    cluster = Cluster(overlay, program, config, link_loads=link_loads)
-    cluster.run()
+    deployment = api.compile(
+        program, passes=["aggsel", "localize"]
+    ).deploy(topology=overlay, config=config, link_loads=link_loads)
+    deployment.advance()
     nodes = len(overlay.nodes)
     return (
-        cluster.stats.total_mb(),
-        cluster.stats.peak_per_node_kbps(nodes),
-        cluster.stats.per_node_kbps_series(nodes),
+        deployment.stats.total_mb(),
+        deployment.stats.peak_per_node_kbps(nodes),
+        deployment.stats.per_node_kbps_series(nodes),
     )
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro import api
 from repro.experiments.common import (
     Scale,
     current_scale,
@@ -30,7 +31,7 @@ from repro.experiments.common import (
     format_table,
 )
 from repro.ndlog import programs
-from repro.runtime import Cluster, LinkUpdateDriver, RuntimeConfig
+from repro.runtime import LinkUpdateDriver, RuntimeConfig
 from repro.topology import Overlay
 
 
@@ -103,16 +104,18 @@ def _run_dynamic(
     # replacement advert never hits the wire.  The from-scratch phase of
     # the run uses the same configuration, so the burst-vs-initial
     # comparison is like for like.
-    cluster = Cluster(
-        overlay,
-        programs.shortest_path_dynamic(),
-        RuntimeConfig(aggregate_selections=True, buffer_interval=0.2),
+    deployment = api.compile(
+        programs.shortest_path_dynamic(), passes=["aggsel", "localize"]
+    ).deploy(
+        topology=overlay,
+        config=RuntimeConfig(buffer_interval=0.2),
         link_loads={"link": "random"},
     )
+    cluster = deployment.cluster
     driver = LinkUpdateDriver(cluster, metric="random", seed=seed)
     driver.schedule_bursts(burst_times)
-    cluster.run(until=horizon)
-    cluster.run()  # drain whatever is still in flight after the horizon
+    deployment.advance(until=horizon)
+    deployment.advance()  # drain whatever is still in flight after the horizon
 
     node_count = len(overlay.nodes)
     series = cluster.stats.per_node_kbps_series(node_count)
@@ -138,7 +141,7 @@ def _run_dynamic(
     )
 
 
-def _check_consistency(cluster: Cluster, driver: LinkUpdateDriver) -> bool:
+def _check_consistency(cluster, driver: LinkUpdateDriver) -> bool:
     """Theorem 4: the quiesced state equals a from-scratch run on the
     final link costs (compared on shortest-path costs per pair)."""
     import heapq

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, SchemaError
 from repro.ndlog.terms import ConstructedTuple, NIL
 
 #: Global registry of builtin functions, name -> callable.
@@ -33,7 +33,7 @@ REGISTRY: Dict[str, Callable] = {}
 def register(name: str):
     """Decorator registering a builtin under ``name`` (must start ``f_``)."""
     if not name.startswith("f_"):
-        raise ValueError(f"builtin names must start with 'f_': {name!r}")
+        raise SchemaError(f"builtin names must start with 'f_': {name!r}")
 
     def wrap(func: Callable) -> Callable:
         REGISTRY[name] = func

@@ -5,6 +5,14 @@ This is the Python analogue of the modified P2 system of Section 6: the
 pipeline is validate -> (optional aggregate-selections rewrite) ->
 localize (Algorithm 2) -> per-node strand dataflows executing PSN, with
 all communication along overlay links under FIFO ordering.
+
+Program compilation routes through :func:`repro.api.compile` -- the one
+place rewrite order is decided.  A cluster may be built either from a
+plain :class:`~repro.ndlog.ast.Program` (compiled here with the pass
+pipeline implied by the :class:`~repro.runtime.config.RuntimeConfig`)
+or from an already-compiled :class:`~repro.api.CompiledProgram`
+artifact, which is used as-is (localization is ensured, nothing else is
+re-applied; the artifact's pass pipeline wins over config flags).
 """
 
 from __future__ import annotations
@@ -14,14 +22,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.facts import Fact
 from repro.errors import NetworkError, PlanError
-from repro.ndlog.ast import Program
-from repro.ndlog.validator import check
 from repro.net.link import LinkChannel
 from repro.net.message import Message
 from repro.net.sim import Simulator
 from repro.net.stats import ResultTracker, TrafficStats
-from repro.opt import aggsel
-from repro.planner.localization import is_canonical, localize
+from repro.planner.localization import is_canonical
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.node import NodeRuntime
 from repro.runtime.transport import Transport
@@ -34,14 +39,21 @@ class Cluster:
     def __init__(
         self,
         overlay: Overlay,
-        program: Program,
+        program,  # Program or repro.api.CompiledProgram
         config: Optional[RuntimeConfig] = None,
         link_loads: Optional[Dict[str, str]] = None,
     ):
-        """``link_loads`` maps each link-relation name in the program to
-        the overlay metric that fills its cost field (default:
-        ``{"link": "latency"}``).  Multiple entries let several queries
-        with distinct link relations run concurrently (Section 6.4)."""
+        """``program`` is a :class:`~repro.ndlog.ast.Program` (compiled
+        here per the config flags) or a pre-compiled
+        :class:`~repro.api.CompiledProgram`.  ``link_loads`` maps each
+        link-relation name in the program to the overlay metric that
+        fills its cost field (default: ``{"link": "latency"}``).
+        Multiple entries let several queries with distinct link
+        relations run concurrently (Section 6.4)."""
+        # Deferred import: repro.api provides the compile pipeline and
+        # itself deploys onto this class (no import cycle at load time).
+        from repro.api import CompiledProgram, compile as compile_api
+
         self.overlay = overlay
         self.config = config or RuntimeConfig()
         self.sim = Simulator()
@@ -49,14 +61,28 @@ class Cluster:
         self.trackers: List[ResultTracker] = []
         self.loss_rng = random.Random(self.config.seed)
 
-        if self.config.validate:
-            check(program)
-        if self.config.aggregate_selections:
-            program = aggsel.rewrite(program)
-        self.source_program = program
-        self.program = localize(program)
+        if isinstance(program, CompiledProgram):
+            # Pre-compiled artifact: its pass pipeline already decided
+            # the rewrites; only ensure it is in deployable form.
+            compiled = program.localized()
+        else:
+            passes = ["aggsel"] if self.config.aggregate_selections else []
+            passes.append("localize")
+            compiled = compile_api(
+                program,
+                passes=passes,
+                validate=self.config.validate,
+                strict=True,
+            )
+        self.compiled = compiled
+        source_program = compiled.before_pass("localize")
+        self.source_program = (
+            source_program if source_program is not None else compiled.program
+        )
+        self.program = compiled.program
         if not is_canonical(self.program):
-            raise PlanError("localization failed to produce canonical rules")
+            raise PlanError("localization failed to produce canonical rules",
+                            pass_name="localize")
 
         self.transport = Transport(self, self.config)
         self._channels: Dict[Tuple[str, str], LinkChannel] = {}

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.engine.facts import Fact
 from repro.engine.table import INFINITY
+from repro.errors import NetworkError
 from repro.runtime.cluster import Cluster
 
 
@@ -33,7 +34,7 @@ class SoftStateManager:
         self.expired_count = 0
         self._installed = False
         if not cluster.nodes:
-            raise ValueError(
+            raise NetworkError(
                 "SoftStateManager needs a cluster with at least one node "
                 "(no node runtimes to read table lifetimes from)"
             )

@@ -1,0 +1,15 @@
+"""Regenerate the explain() golden snapshot used by tests/test_api.py.
+
+Run:  PYTHONPATH=src python tests/data/regen_explain_snapshot.py
+"""
+
+import pathlib
+
+from repro import api
+from repro.ndlog import programs
+
+compiled = api.compile(programs.shortest_path_safe(),
+                       passes=["aggsel", "localize"])
+target = pathlib.Path(__file__).parent / "shortest_path_safe_explain.txt"
+target.write_text(compiled.explain() + "\n")
+print(f"wrote {target}")

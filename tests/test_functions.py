@@ -96,9 +96,10 @@ class TestRegistry:
         assert "f_bogus" not in REGISTRY
 
     def test_register_requires_f_prefix(self):
+        from repro.errors import SchemaError
         from repro.ndlog.functions import register
 
-        with pytest.raises(ValueError):
+        with pytest.raises(SchemaError):
             register("not_prefixed")
 
     def test_node_sequence_forms(self):

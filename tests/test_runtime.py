@@ -328,11 +328,13 @@ class TestSoftState:
     def test_empty_cluster_rejected_with_clear_error(self):
         """Regression: an empty cluster used to surface as a bare
         ``StopIteration`` out of the lifetime scan; it must be a clear
-        ``ValueError`` instead."""
+        library error (``NetworkError``) instead."""
         import types
 
+        from repro.errors import NetworkError
+
         empty = types.SimpleNamespace(nodes={})
-        with pytest.raises(ValueError, match="at least one node"):
+        with pytest.raises(NetworkError, match="at least one node"):
             SoftStateManager(empty)
 
     def test_expiry_without_refresh(self):

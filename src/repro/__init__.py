@@ -35,7 +35,13 @@ Quickstart::
     deployment.advance()                                # run to quiescence
     print(deployment.query_rows())
 
-See ``examples/`` for full walkthroughs on simulated topologies.
+    live = compiled.deploy(n_nodes=8, target="live",    # wall clock,
+                           channels="udp")              # real sockets
+    live.converge(timeout=30.0)
+    print(live.query_rows())
+
+See ``examples/`` for full walkthroughs on simulated topologies and
+``examples/live_routing.py`` for the live asyncio/UDP target.
 """
 
 from repro import ndlog  # noqa: F401
@@ -49,12 +55,13 @@ from repro.api import (
 )
 from repro.engine import Database
 from repro.ndlog import parse, programs, validate  # noqa: F401
-from repro.runtime import Cluster, RuntimeConfig
+from repro.runtime import Cluster, LiveDeployment, RuntimeConfig
 
 __all__ = [
     "compile",
     "CompiledProgram",
     "Deployment",
+    "LiveDeployment",
     "Pass",
     "PassRegistry",
     "DEFAULT_REGISTRY",

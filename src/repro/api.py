@@ -628,6 +628,9 @@ class CompiledProgram:
         degree: int = 4,
         seed: int = 1,
         metric: str = "latency",
+        target: str = "sim",
+        channels: str = "inproc",
+        host: str = "127.0.0.1",
     ) -> "Deployment":
         """Stand up the program as a distributed declarative network.
 
@@ -637,8 +640,18 @@ class CompiledProgram:
         :class:`~repro.runtime.config.RuntimeConfig`; ``link_loads``
         maps link relations to overlay metrics (default
         ``{"link": metric}``).  Localization is applied automatically
-        if it has not run yet.  The network is *not* run; call
-        :meth:`Deployment.advance` on the returned handle.
+        if it has not run yet.
+
+        ``target`` selects the execution substrate: ``"sim"`` (the
+        default) returns a :class:`Deployment` over the deterministic
+        virtual-time simulator (the network is *not* run; call
+        :meth:`Deployment.advance`); ``"live"`` returns a
+        :class:`~repro.runtime.live.LiveDeployment` that runs each node
+        as an asyncio task on wall-clock time, exchanging deltas over
+        ``channels`` -- in-process asyncio queues (``"inproc"``) or
+        real UDP datagram sockets on ``host`` (``"udp"``).  Drive it
+        with ``await start()`` / ``await quiescent()`` / ``await
+        stop()``, or synchronously with ``converge()``.
         """
         from repro.runtime.cluster import Cluster
         from repro.runtime.config import RuntimeConfig
@@ -652,6 +665,17 @@ class CompiledProgram:
         if link_loads is None:
             link_loads = {"link": metric}
         compiled = self.localized()
+        if target == "live":
+            from repro.runtime.live import LiveDeployment
+
+            return LiveDeployment(
+                compiled, topology, config=config, link_loads=link_loads,
+                channels=channels, host=host,
+            )
+        if target != "sim":
+            raise PlanError(
+                f"unknown deploy target {target!r}; pick 'sim' or 'live'"
+            )
         cluster = Cluster(
             topology, compiled, config or RuntimeConfig(),
             link_loads=link_loads,
@@ -779,6 +803,12 @@ class Deployment:
     def run(self, until: Optional[float] = None) -> float:
         """Alias of :meth:`advance`."""
         return self.advance(until=until)
+
+    def stop(self) -> None:
+        """Tear down the deployment.  The simulator holds no external
+        resources, so this is a no-op -- it exists so target-agnostic
+        scripts can always call ``stop()`` (the live target's version
+        closes sockets and cancels node tasks)."""
 
     @property
     def quiescent(self) -> bool:

@@ -1,14 +1,34 @@
-"""Network substrate: deterministic discrete-event simulation with FIFO
-links, a byte-accurate message size model, and traffic accounting."""
+"""Network substrate: a shared clock/channel seam with two execution
+targets -- deterministic discrete-event simulation (virtual time, FIFO
+links) and live asyncio delivery (wall clock, in-process queues or real
+UDP datagrams) -- plus a byte-accurate message size model and traffic
+accounting."""
 
-from repro.net.link import DEFAULT_BANDWIDTH_BPS, LinkChannel
+from repro.net.channel import DEFAULT_BANDWIDTH_BPS, Channel
+from repro.net.clock import Clock, WallClock
+from repro.net.link import LinkChannel
+from repro.net.live import (
+    QueueChannel,
+    UdpChannel,
+    UdpFabric,
+    decode_message,
+    encode_message,
+)
 from repro.net.message import HEADER_BYTES, Message, NetDelta, single, tuple_size
 from repro.net.sim import Simulator
 from repro.net.stats import ResultTracker, TrafficStats
 
 __all__ = [
+    "Clock",
     "Simulator",
+    "WallClock",
+    "Channel",
     "LinkChannel",
+    "QueueChannel",
+    "UdpChannel",
+    "UdpFabric",
+    "encode_message",
+    "decode_message",
     "DEFAULT_BANDWIDTH_BPS",
     "Message",
     "NetDelta",

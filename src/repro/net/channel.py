@@ -1,0 +1,119 @@
+"""The channel seam: one link contract for simulated and live delivery.
+
+A :class:`Channel` is one overlay link between two node addresses.  The
+base class owns everything both worlds share -- endpoint validation and
+the link *emulation model* (store-and-forward bandwidth queueing,
+constant propagation latency, Bernoulli loss) -- while subclasses
+decide how an arrival actually reaches the destination:
+
+* :class:`~repro.net.link.LinkChannel` -- delivery is a clock timer
+  calling straight into the cluster (the simulator substrate, and also
+  usable on a wall clock);
+* :class:`~repro.net.live.QueueChannel` -- delivery enqueues onto the
+  destination node's asyncio inbox, consumed by that node's task;
+* :class:`~repro.net.live.UdpChannel` -- delivery is a real UDP
+  datagram on localhost; the emulated delay shapes the send time.
+
+Section 4.2 requires that "along any link in the network, there is a
+FIFO ordering of messages" (Theorem 4).  The emulation guarantees it
+structurally: per-direction departure times are monotone (a shared
+transmit queue) and the propagation latency is constant, so arrivals
+never reorder.  The asyncio backends preserve it because timers with
+nondecreasing deadlines fire in order and UDP on loopback does not
+reorder in practice.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.clock import Clock
+from repro.net.message import Message
+
+DEFAULT_BANDWIDTH_BPS = 10_000_000  # 10 Mbps, as in Section 6.1
+
+
+@dataclass
+class Channel:
+    """One overlay link between two node addresses."""
+
+    a: str
+    b: str
+    latency: float                       # seconds, one way
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
+    loss_rate: float = 0.0               # probability a message is dropped
+    metrics: Dict[str, float] = field(default_factory=dict)
+    _last_departure: Dict[str, float] = field(default_factory=dict)
+    _loss_rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def other_end(self, node: str) -> str:
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise NetworkError(f"{node} is not an endpoint of link {self.a}-{self.b}")
+
+    # ------------------------------------------------------------------
+    # Shared emulation model
+    # ------------------------------------------------------------------
+    def _check_endpoints(self, message: Message) -> None:
+        if (
+            message.src not in (self.a, self.b)
+            or self.other_end(message.src) != message.dst
+        ):
+            raise NetworkError(
+                f"message {message.src}->{message.dst} not on link "
+                f"{self.a}-{self.b}"
+            )
+
+    def _rng_for_loss(self, rng: Optional[random.Random]) -> random.Random:
+        """The loss decision always has an rng: the caller's, or a
+        per-channel one seeded from the endpoint names -- so a lossy
+        channel is deterministic by default rather than silently
+        lossless when no rng is threaded through."""
+        if rng is not None:
+            return rng
+        if self._loss_rng is None:
+            self._loss_rng = random.Random(f"loss:{self.a}|{self.b}")
+        return self._loss_rng
+
+    def plan(
+        self,
+        clock: Clock,
+        message: Message,
+        rng: Optional[random.Random] = None,
+    ) -> Tuple[float, bool]:
+        """Book ``message`` onto the link: validate endpoints, advance
+        this direction's transmit queue, and decide loss.  Returns
+        ``(arrival_time, lost)``; the booking happens even for lost
+        messages (they occupied the wire)."""
+        self._check_endpoints(message)
+        transmission = message.size * 8.0 / self.bandwidth_bps
+        depart = (
+            max(clock.now, self._last_departure.get(message.src, 0.0))
+            + transmission
+        )
+        self._last_departure[message.src] = depart
+        arrive = depart + self.latency
+        lost = (
+            self.loss_rate > 0.0
+            and self._rng_for_loss(rng).random() < self.loss_rate
+        )
+        return arrive, lost
+
+    # ------------------------------------------------------------------
+    # Delivery (per-backend)
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        clock: Clock,
+        message: Message,
+        deliver: Callable[[Message], None],
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """Queue ``message`` for transmission; returns the arrival time
+        (even for lost messages, which simply never deliver)."""
+        raise NotImplementedError

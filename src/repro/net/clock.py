@@ -1,0 +1,137 @@
+"""The clock seam: one timer contract for virtual and wall-clock time.
+
+Everything above the network substrate -- node CPU ticks, transport
+flush windows, soft-state expiry sweeps, workload drivers -- schedules
+work through four verbs: ``now`` / ``at`` / ``after`` / ``post``.  The
+:class:`Clock` base pins that contract down so the same runtime code
+executes unchanged on either implementation:
+
+* :class:`~repro.net.sim.Simulator` -- deterministic virtual time, the
+  substrate for every reproduced experiment (results are byte-identical
+  run to run);
+* :class:`WallClock` -- real time over a running asyncio event loop,
+  the substrate for the live deployment target
+  (:mod:`repro.runtime.live`).
+
+The semantic difference callers may observe: virtual time only moves
+when an event fires, so ``at(now)`` is exact; wall time moves on its
+own, so a wall timer may fire a little late (the event loop's timer
+resolution) and ``at`` clamps already-past times to "as soon as
+possible" instead of raising.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import NetworkError
+
+
+class Clock:
+    """Timer contract shared by the simulator and the wall clock.
+
+    ``now`` is seconds on the clock's own axis (virtual seconds, or
+    wall seconds since the clock was created).  ``at`` schedules at an
+    absolute time on that axis and returns a cancellable handle;
+    ``after`` is relative; ``post`` is fire-and-forget ``after`` (no
+    handle, not cancellable).  ``pending`` counts scheduled-but-unfired
+    events -- the quiescence test both execution targets share.
+    """
+
+    now: float
+
+    def at(self, time: float, callback: Callable[[], None]):
+        raise NotImplementedError
+
+    def after(self, delay: float, callback: Callable[[], None]):
+        raise NotImplementedError
+
+    def post(self, delay: float, callback: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    @property
+    def pending(self) -> int:
+        raise NotImplementedError
+
+
+class WallTimer:
+    """Cancellation handle for one :class:`WallClock` timer."""
+
+    __slots__ = ("cancelled", "_clock", "_handle")
+
+    def __init__(self, clock: "WallClock"):
+        self.cancelled = False
+        self._clock = clock
+        self._handle: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+        self._clock._pending -= 1
+
+
+class WallClock(Clock):
+    """Real time over the running asyncio event loop.
+
+    ``now`` starts at 0.0 when the clock is created, so programs
+    written against virtual timestamps (workload bursts at t=2.0,
+    refreshers every 0.5s) run unchanged in wall time.  Callback
+    exceptions are captured on :attr:`failures` rather than left to the
+    loop's exception handler, so the live runtime can surface them at
+    :meth:`~repro.runtime.live.LiveDeployment.stop` time.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self._pending = 0
+        self.events_processed = 0
+        #: ``(now, exception)`` pairs from callbacks that raised.
+        self.failures: List[Tuple[float, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        return self._loop.time() - self._t0
+
+    def _fire(self, timer: Optional[WallTimer],
+              callback: Callable[[], None]) -> None:
+        if timer is not None:
+            if timer.cancelled:
+                return
+            timer.cancelled = True  # fired; cancel() must not double-count
+        self._pending -= 1
+        self.events_processed += 1
+        try:
+            callback()
+        except BaseException as exc:  # noqa: BLE001 -- surfaced at stop()
+            self.failures.append((self.now, exc))
+
+    def at(self, time: float, callback: Callable[[], None]) -> WallTimer:
+        """Schedule at absolute clock time ``time``; times already past
+        fire as soon as possible (wall time cannot be rewound, so the
+        simulator's in-the-past error has no useful analogue)."""
+        return self.after(max(0.0, time - self.now), callback)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> WallTimer:
+        if delay < 0:
+            raise NetworkError(f"negative delay {delay}")
+        timer = WallTimer(self)
+        self._pending += 1
+        timer._handle = self._loop.call_later(
+            delay, self._fire, timer, callback
+        )
+        return timer
+
+    def post(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise NetworkError(f"negative delay {delay}")
+        self._pending += 1
+        self._loop.call_later(delay, self._fire, None, callback)
+
+    @property
+    def pending(self) -> int:
+        return self._pending

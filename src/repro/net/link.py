@@ -1,63 +1,41 @@
 """Simulated network links: FIFO, store-and-forward, optional loss.
 
-Section 4.2 requires that "along any link in the network, there is a
-FIFO ordering of messages" for distributed eventual consistency
-(Theorem 4).  The link model guarantees it structurally: per-direction
-departure times are monotone (a shared 10 Mbps transmit queue) and the
-propagation latency is constant, so arrivals never reorder.
+The timing and loss model lives on the shared
+:class:`~repro.net.channel.Channel` base (the live channel backends use
+the same emulation); this subclass is the clock-timer delivery backend:
+an arrival is a scheduled callback straight into the cluster.  On the
+virtual :class:`~repro.net.sim.Simulator` that reproduces the paper's
+Emulab substrate; the same class runs unmodified on a
+:class:`~repro.net.clock.WallClock`.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional
 
-from repro.errors import NetworkError
+from repro.net.channel import DEFAULT_BANDWIDTH_BPS, Channel
+from repro.net.clock import Clock
 from repro.net.message import Message
-from repro.net.sim import Simulator
 
-DEFAULT_BANDWIDTH_BPS = 10_000_000  # 10 Mbps, as in Section 6.1
+__all__ = ["DEFAULT_BANDWIDTH_BPS", "LinkChannel"]
 
 
 @dataclass
-class LinkChannel:
-    """One overlay link between two node addresses."""
-
-    a: str
-    b: str
-    latency: float                       # seconds, one way
-    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
-    loss_rate: float = 0.0               # probability a message is dropped
-    metrics: Dict[str, float] = field(default_factory=dict)
-    _last_departure: Dict[str, float] = field(default_factory=dict)
-
-    def other_end(self, node: str) -> str:
-        if node == self.a:
-            return self.b
-        if node == self.b:
-            return self.a
-        raise NetworkError(f"{node} is not an endpoint of link {self.a}-{self.b}")
+class LinkChannel(Channel):
+    """One overlay link delivering via clock timers."""
 
     def transmit(
         self,
-        sim: Simulator,
+        clock: Clock,
         message: Message,
         deliver: Callable[[Message], None],
         rng: Optional[random.Random] = None,
     ) -> float:
         """Queue ``message`` for transmission; returns the arrival time
         (even for lost messages, which simply never deliver)."""
-        if message.src not in (self.a, self.b) or self.other_end(message.src) != message.dst:
-            raise NetworkError(
-                f"message {message.src}->{message.dst} not on link "
-                f"{self.a}-{self.b}"
-            )
-        transmission = message.size * 8.0 / self.bandwidth_bps
-        depart = max(sim.now, self._last_departure.get(message.src, 0.0)) + transmission
-        self._last_departure[message.src] = depart
-        arrive = depart + self.latency
-        if self.loss_rate > 0.0 and rng is not None and rng.random() < self.loss_rate:
-            return arrive  # dropped in flight
-        sim.at(arrive, lambda: deliver(message))
+        arrive, lost = self.plan(clock, message, rng)
+        if not lost:
+            clock.at(arrive, lambda: deliver(message))
         return arrive

@@ -4,6 +4,10 @@ Replaces the Emulab testbed as the substrate for the paper's experiments
 (see the substitution table in DESIGN.md).  All experiment metrics --
 convergence seconds, kBps over time -- are measured in *virtual* time, so
 results are reproducible and independent of host speed.
+
+The simulator is the virtual-time implementation of the
+:class:`~repro.net.clock.Clock` contract; the live deployment target
+runs the same node runtimes on :class:`~repro.net.clock.WallClock`.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import NetworkError
+from repro.net.clock import Clock
 
 
 class EventHandle:
@@ -27,7 +32,7 @@ class EventHandle:
         self.cancelled = True
 
 
-class Simulator:
+class Simulator(Clock):
     """A minimal event loop: schedule callbacks at virtual times.
 
     Ties are broken by scheduling order, so runs are fully deterministic.
@@ -38,6 +43,10 @@ class Simulator:
         self._heap: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self.events_processed = 0
+        # Installed by run(); step() honours it too, so mixed
+        # step()/run() use cannot overshoot the cap.
+        self._event_limit: Optional[int] = None
+        self._event_budget = 0
 
     def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual ``time``."""
@@ -70,12 +79,33 @@ class Simulator:
     def pending(self) -> int:
         return len(self._heap)
 
+    def _check_budget(self, item) -> None:
+        """Raise the livelock error *before* consuming ``item``: the
+        fatal event goes back on the heap and is not counted into
+        ``events_processed`` (it never ran)."""
+        if (
+            self._event_limit is not None
+            and self.events_processed >= self._event_limit
+        ):
+            heapq.heappush(self._heap, item)
+            raise NetworkError(
+                f"simulation exceeded {self._event_budget} events (livelock?)"
+            )
+
     def step(self) -> bool:
-        """Run the next event; returns False when the heap is empty."""
+        """Run the next event; returns False when the heap is empty.
+
+        Shares :meth:`run`'s ``max_events`` accounting: once a run has
+        installed a budget, stepping past it raises the same livelock
+        error instead of silently overshooting the cap.
+        """
         while self._heap:
-            time, _seq, handle, callback = heapq.heappop(self._heap)
-            if handle is not None and handle.cancelled:
+            if self._heap[0][2] is not None and self._heap[0][2].cancelled:
+                heapq.heappop(self._heap)
                 continue
+            item = heapq.heappop(self._heap)
+            self._check_budget(item)
+            time, _seq, _handle, callback = item
             self.now = time
             self.events_processed += 1
             callback()
@@ -90,6 +120,12 @@ class Simulator:
         """Run until quiescence (or virtual time ``until``); returns the
         final virtual time.
 
+        ``until`` is an *observation* time, not just a stop condition:
+        the clock always advances to ``until`` even when the event heap
+        drains earlier, so a quiescent network's ``now`` does not stick
+        at the last event time (later ``after()`` calls and soft-state
+        expiry sweeps compute against the observed time).
+
         The loop is inlined rather than delegating to :meth:`step`: the
         batched node runtimes make the event schedule burstier (fewer,
         heavier events), but a large network still pushes millions of
@@ -99,18 +135,22 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         limit = self.events_processed + max_events
+        self._event_limit = limit
+        self._event_budget = max_events
         while heap:
             if until is not None and heap[0][0] > until:
-                self.now = until
+                if until > self.now:
+                    self.now = until
                 return self.now
-            time, _seq, handle, callback = pop(heap)
-            if handle is not None and handle.cancelled:
+            item = pop(heap)
+            if item[2] is not None and item[2].cancelled:
                 continue
+            if self.events_processed >= limit:
+                self._check_budget(item)
+            time, _seq, _handle, callback = item
             self.now = time
             self.events_processed += 1
-            if self.events_processed > limit:
-                raise NetworkError(
-                    f"simulation exceeded {max_events} events (livelock?)"
-                )
             callback()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now

@@ -1,14 +1,19 @@
-"""Distributed runtime: per-node PSN dataflows over the simulated
-network, with transport-level optimizations and dynamic workloads."""
+"""Distributed runtime: per-node PSN dataflows over either execution
+target -- the virtual-time simulated network or the live wall-clock
+asyncio runtime -- with transport-level optimizations and dynamic
+workloads."""
 
 from repro.runtime.cluster import Cluster
 from repro.runtime.config import CachePolicy, RuntimeConfig, ShareSpec
+from repro.runtime.live import LiveCluster, LiveDeployment
 from repro.runtime.node import NodeRuntime
 from repro.runtime.softstate import SoftStateManager
 from repro.runtime.updates import LinkUpdateDriver
 
 __all__ = [
     "Cluster",
+    "LiveCluster",
+    "LiveDeployment",
     "RuntimeConfig",
     "ShareSpec",
     "CachePolicy",

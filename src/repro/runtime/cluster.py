@@ -22,6 +22,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.facts import Fact
 from repro.errors import NetworkError, PlanError
+from repro.net.channel import Channel
+from repro.net.clock import Clock
 from repro.net.link import LinkChannel
 from repro.net.message import Message
 from repro.net.sim import Simulator
@@ -42,6 +44,7 @@ class Cluster:
         program,  # Program or repro.api.CompiledProgram
         config: Optional[RuntimeConfig] = None,
         link_loads: Optional[Dict[str, str]] = None,
+        clock: Optional[Clock] = None,
     ):
         """``program`` is a :class:`~repro.ndlog.ast.Program` (compiled
         here per the config flags) or a pre-compiled
@@ -49,14 +52,20 @@ class Cluster:
         link-relation name in the program to the overlay metric that
         fills its cost field (default: ``{"link": "latency"}``).
         Multiple entries let several queries with distinct link
-        relations run concurrently (Section 6.4)."""
+        relations run concurrently (Section 6.4).  ``clock`` is the
+        timing substrate (default: a fresh virtual-time
+        :class:`Simulator`; the live runtime passes a
+        :class:`~repro.net.clock.WallClock`)."""
         # Deferred import: repro.api provides the compile pipeline and
         # itself deploys onto this class (no import cycle at load time).
         from repro.api import CompiledProgram, compile as compile_api
 
         self.overlay = overlay
         self.config = config or RuntimeConfig()
-        self.sim = Simulator()
+        self.clock = clock if clock is not None else Simulator()
+        #: Back-compat alias: experiments and tests drive the virtual
+        #: clock as ``cluster.sim``.
+        self.sim = self.clock
         self.stats = TrafficStats()
         self.trackers: List[ResultTracker] = []
         self.loss_rng = random.Random(self.config.seed)
@@ -85,16 +94,9 @@ class Cluster:
                             pass_name="localize")
 
         self.transport = Transport(self, self.config)
-        self._channels: Dict[Tuple[str, str], LinkChannel] = {}
+        self._channels: Dict[Tuple[str, str], Channel] = {}
         for (a, b), metrics in overlay.links.items():
-            self._channels[(a, b)] = LinkChannel(
-                a=a,
-                b=b,
-                latency=metrics["latency"] / 1000.0,
-                bandwidth_bps=self.config.bandwidth_bps,
-                loss_rate=self.config.loss_rate,
-                metrics=dict(metrics),
-            )
+            self._channels[(a, b)] = self._make_channel(a, b, metrics)
 
         self.nodes: Dict[str, NodeRuntime] = {
             name: NodeRuntime(name, self.program, self)
@@ -107,12 +109,30 @@ class Cluster:
 
         if link_loads is None:
             link_loads = {"link": "latency"}
-        for pred, metric in link_loads.items():
-            self.load_links(pred, metric)
+        self._load_initial(link_loads)
 
     # ------------------------------------------------------------------
     # Setup helpers
     # ------------------------------------------------------------------
+    def _make_channel(self, a: str, b: str, metrics: Dict[str, float]) -> Channel:
+        """Channel-backend hook: the simulated cluster builds timer-
+        delivery links; :class:`~repro.runtime.live.LiveCluster`
+        overrides with queue or UDP channels."""
+        return LinkChannel(
+            a=a,
+            b=b,
+            latency=metrics["latency"] / 1000.0,
+            bandwidth_bps=self.config.bandwidth_bps,
+            loss_rate=self.config.loss_rate,
+            metrics=dict(metrics),
+        )
+
+    def _load_initial(self, link_loads: Dict[str, str]) -> None:
+        """Initial-load hook: install the link relations now (the live
+        cluster defers this until its node tasks and sockets exist)."""
+        for pred, metric in link_loads.items():
+            self.load_links(pred, metric)
+
     def load_links(self, pred: str, metric: str) -> None:
         """Install ``pred(@src, @dst, cost)`` at each link's source."""
         for src, dst, cost in self.overlay.link_rows(metric):
@@ -131,7 +151,7 @@ class Cluster:
     # ------------------------------------------------------------------
     # Network plumbing (used by NodeRuntime / Transport)
     # ------------------------------------------------------------------
-    def channel(self, a: str, b: str) -> Optional[LinkChannel]:
+    def channel(self, a: str, b: str) -> Optional[Channel]:
         key = (a, b) if a <= b else (b, a)
         return self._channels.get(key)
 
@@ -153,19 +173,26 @@ class Cluster:
 
     def observe_commit(self, node: str, fact: Fact, sign: int) -> None:
         for tracker in self.trackers:
-            tracker.on_commit(self.sim.now, fact, sign)
+            tracker.on_commit(self.clock.now, fact, sign)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
         """Run the network until quiescence (or ``until``); returns the
-        final virtual time."""
-        return self.sim.run(until=until)
+        final virtual time.  Only meaningful on the virtual clock --
+        wall time advances by itself (see
+        :class:`~repro.runtime.live.LiveCluster`)."""
+        if not isinstance(self.clock, Simulator):
+            raise NetworkError(
+                "cluster.run() drives the virtual clock; a live cluster "
+                "advances on wall time (await deployment.quiescent())"
+            )
+        return self.clock.run(until=until)
 
     @property
     def quiescent(self) -> bool:
-        return self.sim.pending == 0 and all(
+        return self.clock.pending == 0 and all(
             node.quiescent for node in self.nodes.values()
         )
 

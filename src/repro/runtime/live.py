@@ -1,0 +1,434 @@
+"""The live execution target: node runtimes as asyncio tasks on wall
+time.
+
+The paper's system runs NDlog programs on real networked nodes; the
+reproduction's default substrate is the virtual-time simulator.  This
+module is the second execution target behind the same seams: every
+:class:`~repro.runtime.node.NodeRuntime` keeps its exact per-node
+semantics (PSN strands, cpu-tick pacing, head routing) but schedules on
+a :class:`~repro.net.clock.WallClock` and exchanges deltas over live
+channels -- in-process asyncio queues by default, real UDP datagram
+sockets on localhost with ``channels="udp"``.
+
+Concurrency model: one asyncio task per node owns that node's inbox
+(an ``asyncio.Queue``); a message arrival is dequeued by the task and
+fed to ``NodeRuntime.receive``, which paces the actual delta processing
+with wall-clock CPU ticks exactly as the simulator paces virtual ones.
+All tasks share one event loop, so node steps interleave but never run
+concurrently -- the same single-threaded-dataflow-per-node discipline
+as P2, times N nodes.
+
+Lifecycle (all on the deployment handle)::
+
+    deployment = compiled.deploy(topology=overlay, target="live")
+    await deployment.start()          # bind channels, spawn node tasks
+    await deployment.quiescent()      # wait for convergence (wall time)
+    rows = deployment.query_rows()
+    await deployment.stop()           # tear down tasks and sockets
+
+or, from synchronous code, ``deployment.converge()`` runs the whole
+lifecycle under ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.channel import Channel
+from repro.net.clock import WallClock
+from repro.net.live import QueueChannel, UdpChannel, UdpFabric
+from repro.net.message import Message
+from repro.net.stats import ResultTracker
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import RuntimeConfig
+
+__all__ = ["LiveCluster", "LiveDeployment"]
+
+#: Inbox sentinel that tells a node task to exit.
+_SHUTDOWN = None
+
+
+def _check_backend(channels: str) -> str:
+    if channels not in ("inproc", "udp"):
+        raise NetworkError(
+            f"unknown live channel backend {channels!r}; "
+            f"pick 'inproc' or 'udp'"
+        )
+    return channels
+
+
+class LiveCluster(Cluster):
+    """A deployed declarative network on wall-clock time.
+
+    Construct *inside a running event loop* (the wall clock binds to
+    it), then ``await start()``.  Construction compiles and instantiates
+    every node but defers the initial link-relation load until the node
+    tasks and channel endpoints exist.
+    """
+
+    def __init__(
+        self,
+        overlay,
+        program,
+        config: Optional[RuntimeConfig] = None,
+        link_loads: Optional[Dict[str, str]] = None,
+        channels: str = "inproc",
+        host: str = "127.0.0.1",
+    ):
+        self.backend = _check_backend(channels)
+        self.fabric = UdpFabric(host) if channels == "udp" else None
+        self._inboxes: Dict[str, asyncio.Queue] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._task_failures: List[Tuple[str, BaseException]] = []
+        self._started = False
+        self._deferred_link_loads: Dict[str, str] = {}
+        super().__init__(overlay, program, config, link_loads,
+                         clock=WallClock())
+
+    # -- construction hooks --------------------------------------------
+    def _make_channel(self, a: str, b: str, metrics) -> Channel:
+        kwargs = dict(
+            a=a,
+            b=b,
+            latency=metrics["latency"] / 1000.0,
+            bandwidth_bps=self.config.bandwidth_bps,
+            loss_rate=self.config.loss_rate,
+            metrics=dict(metrics),
+        )
+        if self.fabric is not None:
+            return UdpChannel(fabric=self.fabric, **kwargs)
+        return QueueChannel(**kwargs)
+
+    def _load_initial(self, link_loads) -> None:
+        # Loading link facts schedules CPU ticks and shipments; those
+        # need inboxes (and, for UDP, bound sockets) -- start() replays
+        # this after the plumbing is up.
+        self._deferred_link_loads = dict(link_loads)
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind channel endpoints, spawn one task per node, and load the
+        initial link relations."""
+        if self._started:
+            return
+        self._started = True
+        loop = asyncio.get_running_loop()
+        if self.fabric is not None:
+            self.fabric.on_message = self._deliver_local
+            for name in self.nodes:
+                await self.fabric.bind(name)
+        for name, node in self.nodes.items():
+            inbox: asyncio.Queue = asyncio.Queue()
+            self._inboxes[name] = inbox
+            self._tasks.append(
+                loop.create_task(self._node_loop(name, node, inbox),
+                                 name=f"ndlog-node-{name}")
+            )
+        for pred, metric in self._deferred_link_loads.items():
+            self.load_links(pred, metric)
+
+    async def _node_loop(self, name: str, node, inbox: asyncio.Queue) -> None:
+        """One node's ingestion task: messages in, deltas to the engine."""
+        while True:
+            message = await inbox.get()
+            if message is _SHUTDOWN:
+                return
+            try:
+                for delta in message.deltas:
+                    node.receive(delta.pred, delta.args, delta.sign)
+            except BaseException as exc:  # noqa: BLE001 -- surfaced at stop
+                self._task_failures.append((name, exc))
+
+    async def stop(self) -> None:
+        """Drain and stop every node task, close sockets, and re-raise
+        the first callback/task failure (if any)."""
+        for inbox in self._inboxes.values():
+            inbox.put_nowait(_SHUTDOWN)
+        if self._tasks:
+            done, pending = await asyncio.wait(self._tasks, timeout=5.0)
+            for task in pending:
+                task.cancel()
+        self._tasks = []
+        if self.fabric is not None:
+            self.fabric.close()
+        self.raise_failures()
+
+    def raise_failures(self) -> None:
+        failures: List[Tuple[str, BaseException]] = list(self._task_failures)
+        failures.extend(
+            ("clock", exc) for _now, exc in self.clock.failures
+        )
+        if failures:
+            where, first = failures[0]
+            raise NetworkError(
+                f"live run recorded {len(failures)} failure(s); "
+                f"first ({where}): {type(first).__name__}: {first}"
+            ) from first
+
+    # -- delivery -------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        """Channel arrival (in-process backend): route to the node task."""
+        self._deliver_local(message)
+
+    def _deliver_local(self, message: Message) -> None:
+        inbox = self._inboxes.get(message.dst)
+        if inbox is None:
+            raise NetworkError(f"message to unknown node {message.dst}")
+        inbox.put_nowait(message)
+
+    # -- quiescence -----------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """Instantaneous idleness: no timers, no undelivered messages,
+        no queued deltas.  One sample can race an in-flight datagram's
+        kernel hop; :meth:`LiveDeployment.quiescent` requires a settle
+        streak."""
+        return (
+            self.clock.pending == 0
+            and (self.fabric is None or self.fabric.settled)
+            and all(inbox.empty() for inbox in self._inboxes.values())
+            and all(node.quiescent for node in self.nodes.values())
+        )
+
+    @property
+    def quiescent(self) -> bool:
+        return self.idle
+
+
+class LiveDeployment:
+    """Deployment handle for the live target.
+
+    Mirrors the simulated :class:`~repro.api.Deployment` verbs where
+    they make sense on wall time, with the lifecycle verbs async:
+    :meth:`start`, :meth:`quiescent` (wait for convergence),
+    :meth:`stop`.  ``inject``/``update``/``delete``/``watch``/``at``
+    issued before :meth:`start` are buffered and replayed once the
+    network is up, so workload scripts read the same as their simulator
+    counterparts.  :meth:`converge` wraps the whole lifecycle for
+    synchronous callers.
+    """
+
+    def __init__(
+        self,
+        compiled,
+        topology,
+        config: Optional[RuntimeConfig] = None,
+        link_loads: Optional[Dict[str, str]] = None,
+        channels: str = "inproc",
+        host: str = "127.0.0.1",
+    ):
+        _check_backend(channels)
+        self.compiled = compiled
+        self.topology = topology
+        self.config = config
+        self.link_loads = link_loads
+        self.channels = channels
+        self.host = host
+        self.cluster: Optional[LiveCluster] = None
+        self._stopped = False
+        self._pending_ops: List[Tuple] = []
+        self._pending_trackers: List[ResultTracker] = []
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self.cluster is not None
+
+    async def start(self) -> "LiveDeployment":
+        """Build the live cluster on the running loop, spawn the node
+        tasks, and replay buffered workload calls."""
+        self._check_not_stopped()
+        if self.cluster is not None:
+            return self
+        self.cluster = LiveCluster(
+            self.topology,
+            self.compiled,
+            self.config,
+            link_loads=self.link_loads,
+            channels=self.channels,
+            host=self.host,
+        )
+        self.cluster.trackers.extend(self._pending_trackers)
+        self._pending_trackers = []
+        await self.cluster.start()
+        for op in self._pending_ops:
+            self._apply(op)
+        self._pending_ops = []
+        return self
+
+    async def quiescent(
+        self,
+        timeout: float = 30.0,
+        poll: float = 0.02,
+        settle: int = 3,
+    ) -> bool:
+        """Wait (in wall time) until the network is quiescent: ``settle``
+        consecutive idle samples ``poll`` seconds apart.  Returns True on
+        quiescence, False if ``timeout`` elapses first."""
+        self._check_not_stopped()
+        cluster = self._require_started()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        streak = 0
+        while True:
+            streak = streak + 1 if cluster.idle else 0
+            if streak >= settle:
+                return True
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(poll)
+
+    async def stop(self) -> None:
+        """Tear down node tasks and channel endpoints; raises if any
+        node callback failed during the run.  The handle's tables stay
+        readable (``rows``/``query_rows``), but workload verbs and the
+        lifecycle are finished -- a new run needs a new deployment."""
+        if self.cluster is not None:
+            self._stopped = True
+            await self.cluster.stop()
+
+    def converge(self, timeout: float = 30.0) -> bool:
+        """Synchronous one-shot: start, wait for quiescence, stop.
+        Returns whether the network went quiescent within ``timeout``;
+        results stay readable on the handle afterwards."""
+        return asyncio.run(self._converge(timeout))
+
+    async def _converge(self, timeout: float) -> bool:
+        await self.start()
+        ok = await self.quiescent(timeout=timeout)
+        await self.stop()
+        return ok
+
+    # -- data plane -----------------------------------------------------
+    def _check_not_stopped(self) -> None:
+        # The wall clock and node tasks died with the loop that ran
+        # them; scheduling against them would surface as an opaque
+        # "Event loop is closed" from deep inside asyncio.
+        if self._stopped:
+            raise NetworkError(
+                "live deployment already stopped; results stay readable, "
+                "but a new run needs a fresh deploy(target='live')"
+            )
+
+    def _require_started(self) -> LiveCluster:
+        if self.cluster is None:
+            raise NetworkError(
+                "live deployment not started (await deployment.start(), "
+                "or use deployment.converge())"
+            )
+        return self.cluster
+
+    def _apply(self, op: Tuple) -> None:
+        verb = op[0]
+        cluster = self.cluster
+        if verb == "at":
+            _v, time, fn = op
+            cluster.clock.at(time, fn)
+            return
+        _v, node, pred, args = op
+        runtime = cluster.nodes.get(node)
+        if runtime is None:
+            raise NetworkError(
+                f"unknown node {node!r}; this deployment has "
+                f"{len(cluster.nodes)} nodes"
+            )
+        getattr(runtime, verb)(pred, tuple(args))
+
+    def _op(self, op: Tuple) -> None:
+        self._check_not_stopped()
+        if self.cluster is None:
+            self._pending_ops.append(op)
+        else:
+            self._apply(op)
+
+    def inject(self, node: str, pred: str, args: Tuple) -> None:
+        """Insert a base tuple at ``node`` (buffered until started)."""
+        self._op(("insert", node, pred, tuple(args)))
+
+    def update(self, node: str, pred: str, args: Tuple) -> None:
+        self._op(("update", node, pred, tuple(args)))
+
+    def delete(self, node: str, pred: str, args: Tuple) -> None:
+        self._op(("delete", node, pred, tuple(args)))
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at wall time ``time`` (seconds from start)."""
+        self._op(("at", time, fn))
+
+    # -- observation ----------------------------------------------------
+    def watch(self, pred: str) -> ResultTracker:
+        """Track completion times for ``pred`` (buffered until started)."""
+        tracker = ResultTracker(watch_pred=pred)
+        if self.cluster is None:
+            self._pending_trackers.append(tracker)
+        else:
+            self.cluster.trackers.append(tracker)
+        return tracker
+
+    def subscribe(self, pred: Optional[str], callback: Callable):
+        from repro.api import _Subscription
+
+        subscription = _Subscription(pred, callback)
+        if self.cluster is None:
+            self._pending_trackers.append(subscription)
+        else:
+            self.cluster.trackers.append(subscription)
+
+        def unsubscribe() -> None:
+            pools = [self._pending_trackers]
+            if self.cluster is not None:
+                pools.append(self.cluster.trackers)
+            for pool in pools:
+                if subscription in pool:
+                    pool.remove(subscription)
+
+        return unsubscribe
+
+    def rows(self, pred: str, node: Optional[str] = None) -> frozenset:
+        cluster = self._require_started()
+        if node is not None:
+            runtime = cluster.nodes.get(node)
+            if runtime is None:
+                raise NetworkError(
+                    f"unknown node {node!r}; this deployment has "
+                    f"{len(cluster.nodes)} nodes"
+                )
+            return frozenset(runtime.db.table(pred).rows())
+        return cluster.rows(pred)
+
+    def query_rows(self) -> frozenset:
+        return self._require_started().query_rows()
+
+    # -- surfaces -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.cluster.clock.now if self.cluster is not None else 0.0
+
+    @property
+    def nodes(self):
+        return self._require_started().nodes
+
+    @property
+    def stats(self):
+        return self._require_started().stats
+
+    @property
+    def overlay(self):
+        return self.topology
+
+    @property
+    def program(self):
+        return self.compiled.program
+
+    def explain(self, join_plans: bool = True) -> str:
+        return self.compiled.explain(join_plans=join_plans)
+
+    def __repr__(self) -> str:
+        state = "running" if self.started else "not started"
+        return (
+            f"LiveDeployment({self.compiled.name!r}, "
+            f"nodes={len(self.topology.nodes)}, "
+            f"channels={self.channels!r}, {state})"
+        )

@@ -69,7 +69,7 @@ class NodeRuntime(PSNEngine):
         if self._tick_scheduled or not self.queue:
             return
         self._tick_scheduled = True
-        self.cluster.sim.post(self.cluster.config.cpu_delay, self._tick)
+        self.cluster.clock.post(self.cluster.config.cpu_delay, self._tick)
 
     def _tick(self) -> None:
         processed = 0
@@ -89,9 +89,9 @@ class NodeRuntime(PSNEngine):
         # immediately after a drain.
         delay = self.cluster.config.cpu_delay
         if self.queue:
-            self.cluster.sim.post(delay * max(processed, 1), self._tick)
+            self.cluster.clock.post(delay * max(processed, 1), self._tick)
         elif processed > 1:
-            self.cluster.sim.post(delay * (processed - 1), self._tick)
+            self.cluster.clock.post(delay * (processed - 1), self._tick)
         else:
             self._tick_scheduled = False
 

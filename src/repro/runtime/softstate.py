@@ -62,7 +62,7 @@ class SoftStateManager:
                 self._observe(_address, fact, sign)
 
             node.on_commit = hook
-        self.cluster.sim.after(self.sweep_interval, self._sweep)
+        self.cluster.clock.after(self.sweep_interval, self._sweep)
 
     def _observe(self, address: str, fact: Fact, sign: int) -> None:
         lifetime = self._lifetimes.get(fact.pred)
@@ -70,20 +70,20 @@ class SoftStateManager:
             return
         key = (address, fact.pred, fact.args)
         if sign > 0:
-            self.expiries[key] = self.cluster.sim.now + lifetime
+            self.expiries[key] = self.cluster.clock.now + lifetime
         else:
             self.expiries.pop(key, None)
 
     def _sweep(self) -> None:
-        now = self.cluster.sim.now
+        now = self.cluster.clock.now
         expired = [key for key, when in self.expiries.items() if when <= now]
         for key in expired:
             address, pred, args = key
             self.expiries.pop(key, None)
             self.expired_count += 1
             self.cluster.nodes[address].delete(pred, args)
-        if self.expiries or self.cluster.sim.pending:
-            self.cluster.sim.after(self.sweep_interval, self._sweep)
+        if self.expiries or self.cluster.clock.pending:
+            self.cluster.clock.after(self.sweep_interval, self._sweep)
 
     # ------------------------------------------------------------------
     # Refreshers
@@ -109,4 +109,4 @@ class SoftStateManager:
                     node.insert(pred, tuple(args))
 
         for index in range(rounds):
-            self.cluster.sim.at(start + index * interval, refresh)
+            self.cluster.clock.at(start + index * interval, refresh)

@@ -68,7 +68,7 @@ class Transport:
         self._buffers.setdefault(key, []).append(delta)
         if not self._flush_scheduled.get(key):
             self._flush_scheduled[key] = True
-            self.cluster.sim.after(self._flush_delay(),
+            self.cluster.clock.after(self._flush_delay(),
                                    lambda: self._flush(key))
 
     # ------------------------------------------------------------------
@@ -94,7 +94,7 @@ class Transport:
         # buffer; schedule the next window.
         if self._buffers.get(key):
             self._flush_scheduled[key] = True
-            self.cluster.sim.after(self._flush_delay(),
+            self.cluster.clock.after(self._flush_delay(),
                                    lambda: self._flush(key))
 
     def _net_change(
@@ -168,8 +168,8 @@ class Transport:
             return
         message = Message(src=src, dst=dst, deltas=deltas,
                           shared_bytes=shared_bytes)
-        self.cluster.stats.record(self.cluster.sim.now, src, message.size)
+        self.cluster.stats.record(self.cluster.clock.now, src, message.size)
         channel.transmit(
-            self.cluster.sim, message, self.cluster.deliver,
+            self.cluster.clock, message, self.cluster.deliver,
             rng=self.cluster.loss_rng,
         )

@@ -49,7 +49,7 @@ class LinkUpdateDriver:
 
     def apply_burst(self) -> BurstRecord:
         """Update a random ``fraction`` of links by up to ``magnitude``."""
-        record = BurstRecord(time=self.cluster.sim.now)
+        record = BurstRecord(time=self.cluster.clock.now)
         links = sorted(self.costs)
         count = max(1, int(len(links) * self.fraction))
         for a, b in self.rng.sample(links, count):
@@ -66,7 +66,7 @@ class LinkUpdateDriver:
     def schedule_bursts(self, times: Sequence[float]) -> None:
         """Schedule bursts at the given virtual times."""
         for time in times:
-            self.cluster.sim.at(time, self.apply_burst)
+            self.cluster.clock.at(time, self.apply_burst)
 
     def schedule_periodic(
         self, interval: float, count: int, start: Optional[float] = None

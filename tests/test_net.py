@@ -100,6 +100,69 @@ class TestSimulator:
         sim.run()
         assert sim.events_processed == 1
 
+    def test_run_until_advances_now_when_heap_drains_early(self):
+        """Regression: ``run(until=T)`` used to leave ``now`` at the
+        last event time when the heap drained before ``T``, so later
+        ``after()`` calls and soft-state expiry sweeps computed against
+        a stale clock."""
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        log = []
+        sim.after(1.0, lambda: log.append(sim.now))
+        sim.run()
+        assert log == [6.0]
+
+    def test_run_until_advances_now_on_empty_heap(self):
+        sim = Simulator()
+        assert sim.run(until=3.0) == 3.0
+        assert sim.now == 3.0
+        # An observation horizon never moves the clock backwards.
+        assert sim.run(until=1.0) == 3.0
+
+    def test_run_until_never_rewinds_with_pending_events(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        assert sim.run(until=3.0) == 3.0
+        # A smaller horizon with events still pending must not rewind.
+        assert sim.run(until=1.0) == 3.0
+        assert sim.now == 3.0
+
+    def test_livelock_guard_does_not_count_the_fatal_event(self):
+        """Regression: the guard counted the fatal event into
+        ``events_processed`` (and dropped it from the heap) before
+        raising."""
+        sim = Simulator()
+
+        def requeue():
+            sim.post(0.1, requeue)
+
+        sim.post(0.0, requeue)
+        with pytest.raises(NetworkError, match="exceeded 5 events"):
+            sim.run(max_events=5)
+        assert sim.events_processed == 5
+        assert sim.pending == 1  # the fatal event went back on the heap
+
+    def test_step_honors_the_run_budget(self):
+        """Mixed step()/run() use cannot overshoot the cap: once run()
+        installed a budget, step() raises the same livelock error."""
+        sim = Simulator()
+
+        def requeue():
+            sim.post(0.1, requeue)
+
+        sim.post(0.0, requeue)
+        with pytest.raises(NetworkError):
+            sim.run(max_events=3)
+        with pytest.raises(NetworkError, match="exceeded 3 events"):
+            sim.step()
+        assert sim.events_processed == 3
+        # A fresh run() call grants a fresh budget and proceeds.
+        with pytest.raises(NetworkError):
+            sim.run(max_events=2)
+        assert sim.events_processed == 5
+
 
 class TestMessageSizes:
     def test_header_and_fields(self):
@@ -178,6 +241,35 @@ class TestLinkChannel:
                          rng=random.Random(1))
         sim.run()
         assert delivered == []
+
+    def test_loss_applies_without_an_rng(self):
+        """Regression: ``loss_rate`` used to be silently disabled when
+        no rng was passed; the channel now falls back to its own seeded
+        rng, so a lossy channel is deterministic rather than lossless."""
+        sim = Simulator()
+        channel = self.make()
+        channel.loss_rate = 1.0
+        delivered = []
+        channel.transmit(sim, single("a", "b", "p", (1,), 1),
+                         lambda m: delivered.append(m))
+        sim.run()
+        assert delivered == []
+
+    def test_default_loss_rng_is_deterministic_per_channel(self):
+        outcomes = []
+        for _round in range(2):
+            sim = Simulator()
+            channel = LinkChannel("a", "b", latency=0.0, loss_rate=0.5)
+            got = []
+            for i in range(30):
+                channel.transmit(
+                    sim, single("a", "b", "p", (i,), 1),
+                    lambda m: got.append(m.deltas[0].args[0]),
+                )
+            sim.run()
+            outcomes.append(tuple(got))
+        assert outcomes[0] == outcomes[1]
+        assert 0 < len(outcomes[0]) < 30  # loss genuinely applied
 
 
 class TestTrafficStats:

@@ -23,7 +23,7 @@ class StubCluster:
             return sim.now
 
     def __init__(self, pkeys=None):
-        self.sim = Simulator()
+        self.sim = self.clock = Simulator()
         self.stats = TrafficStats()
         self.sent = []
         self._channel = self._Channel(self.sent)

@@ -26,7 +26,6 @@ workload.  ``--fast`` trims rounds for CI.  Under pytest each workload
 is a pytest-benchmark case.
 """
 
-import json
 import random
 import statistics
 import sys
@@ -252,7 +251,9 @@ def main(argv):
           f"unbatched {r['unbatched_seconds']:.3f}s  "
           f"speedup {r['speedup']:.2f}x")
 
-    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    from bench_results import merge_results
+
+    merge_results(results)
     print(f"\nwrote {RESULTS_PATH}")
 
     best = max(results[n]["speedup"] for n in ("link-flap", "bursty-update"))

@@ -16,7 +16,6 @@ floor.  Under pytest it is a pytest-benchmark case.
 """
 
 import asyncio
-import json
 import sys
 import time
 from pathlib import Path
@@ -60,18 +59,6 @@ def run_live_round(channels="inproc"):
     return elapsed, deployment.cluster.total_deltas_processed()
 
 
-def merge_results(record):
-    """Append-style update: keep every other benchmark's record."""
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except (ValueError, OSError):
-            existing = {}
-    existing["live-runtime"] = record
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
-
-
 def main(argv):
     rounds = 2 if "--fast" in argv else 4
     measured = []
@@ -92,7 +79,9 @@ def main(argv):
         "deltas_per_sec": rate,
         "rounds": rounds,
     }
-    merge_results(record)
+    from bench_results import merge_results
+
+    merge_results({"live-runtime": record})
     print(f"\nlive-runtime: {rate:,.0f} deltas/sec over in-process "
           f"channels ({N_NODES} nodes); wrote {RESULTS_PATH}")
     assert rate >= FLOOR_DELTAS_PER_SEC, (

@@ -1,0 +1,26 @@
+"""Shared BENCH_results.json handling for the benchmark scripts.
+
+Every benchmark merges its records append-style so the file accumulates
+one record per workload family regardless of which scripts ran, in
+which order (CI runs delta-pipeline, live-runtime, then provenance and
+uploads the combined file as an artifact).
+"""
+
+import json
+from pathlib import Path
+from typing import Dict
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+def merge_results(updates: Dict[str, dict]) -> None:
+    """Merge ``updates`` into ``BENCH_results.json``, preserving every
+    other benchmark's records (a corrupt or missing file starts fresh)."""
+    existing = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(updates)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))

@@ -40,6 +40,13 @@ Quickstart::
     live.converge(timeout=30.0)
     print(live.query_rows())
 
+Compile with ``provenance=True`` and any run or deployment records
+rule-level derivation provenance: ``result.why(pred, row)`` /
+``deployment.why(...)`` return derivation trees, ``why_not(...)``
+explains absent tuples by failed-body analysis, and
+``deployment.audit()`` cross-checks derivation counts against the
+graph (see :mod:`repro.provenance` and ``examples/why_routing.py``).
+
 See ``examples/`` for full walkthroughs on simulated topologies and
 ``examples/live_routing.py`` for the live asyncio/UDP target.
 """
@@ -55,6 +62,12 @@ from repro.api import (
 )
 from repro.engine import Database
 from repro.ndlog import parse, programs, validate  # noqa: F401
+from repro.provenance import (  # noqa: F401
+    AuditReport,
+    DerivationTree,
+    ProvenanceStore,
+    WhyNotReport,
+)
 from repro.runtime import Cluster, LiveDeployment, RuntimeConfig
 
 __all__ = [
@@ -71,6 +84,10 @@ __all__ = [
     "programs",
     "Cluster",
     "RuntimeConfig",
+    "ProvenanceStore",
+    "DerivationTree",
+    "WhyNotReport",
+    "AuditReport",
 ]
 
 __version__ = "1.1.0"

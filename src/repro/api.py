@@ -458,12 +458,16 @@ class CompiledProgram:
         trace: Tuple[PassSnapshot, ...],
         report: Optional[ValidationReport] = None,
         registry: Optional[PassRegistry] = None,
+        provenance: bool = False,
     ):
         self.source = source
         self.program = program
         self.trace = tuple(trace)
         self.report = report
         self.registry = registry or DEFAULT_REGISTRY
+        #: Capture rule-level derivation provenance when this artifact
+        #: runs or deploys (``compile(..., provenance=True)``).
+        self.provenance = provenance
 
     # -- introspection --------------------------------------------------
     @property
@@ -577,6 +581,7 @@ class CompiledProgram:
             trace=tuple(trace),
             report=self.report,
             registry=registry,
+            provenance=self.provenance,
         )
 
     def localized(self) -> "CompiledProgram":
@@ -592,6 +597,7 @@ class CompiledProgram:
         engine: str = "psn",
         facts: Optional[Dict[str, Iterable[Tuple]]] = None,
         db: Optional[Database] = None,
+        provenance: Optional[bool] = None,
         **engine_opts,
     ) -> EvalResult:
         """Centralized evaluation to fixpoint.
@@ -600,6 +606,13 @@ class CompiledProgram:
         ``psn``; ``facts`` maps relation names to rows loaded before
         evaluation; ``engine_opts`` pass through to the engine entry
         point (``use_plans``, ``batch_size``, ``max_steps``, ...).
+
+        ``provenance`` overrides the artifact's compile-time flag for
+        this run (``True``/``False``, or a pre-built
+        :class:`~repro.provenance.store.ProvenanceRecorder` to share a
+        store across runs); when capture is on, the result's
+        :meth:`~repro.engine.fixpoint.EvalResult.why` walks the
+        recorded derivation graph.
         """
         evaluate = ENGINES.get(engine)
         if evaluate is None:
@@ -610,6 +623,14 @@ class CompiledProgram:
             db = Database.for_program(self.program)
         for pred, rows in (facts or {}).items():
             db.load_facts(pred, rows)
+        if provenance is None:
+            provenance = self.provenance
+        if provenance and "provenance" not in engine_opts:
+            from repro.provenance import ProvenanceStore
+
+            if isinstance(provenance, bool):
+                provenance = ProvenanceStore().recorder()
+            engine_opts["provenance"] = provenance
         try:
             return evaluate(self.program, db, **engine_opts)
         except ReproError:
@@ -686,6 +707,23 @@ class CompiledProgram:
 # ----------------------------------------------------------------------
 # compile()
 # ----------------------------------------------------------------------
+def _is_location_free(program: Program) -> bool:
+    """True when no literal anywhere carries an ``@`` location marker --
+    i.e. the program is plain Datalog, not NDlog, and the distributed
+    validation constraints (Definitions 1-6) do not apply to it."""
+    def marked(literal: Literal) -> bool:
+        return any(getattr(term, "location", False) for term in literal.args)
+
+    literals: List[Literal] = []
+    for rule in program.rules:
+        literals.append(rule.head)
+        literals.extend(rule.body_literals)
+    literals.extend(program.facts)
+    if program.query is not None:
+        literals.append(program.query)
+    return not any(marked(literal) for literal in literals)
+
+
 def compile(
     source_or_program: Union[str, Program, CompiledProgram],
     passes: Optional[Sequence[Union[str, Pass, Tuple]]] = None,
@@ -695,6 +733,7 @@ def compile(
     strict_address_types: bool = False,
     name: Optional[str] = None,
     registry: Optional[PassRegistry] = None,
+    provenance: Optional[bool] = None,
 ) -> CompiledProgram:
     """Compile NDlog source (or a parsed :class:`Program`) into a
     :class:`CompiledProgram`.
@@ -705,7 +744,21 @@ def compile(
     runs the registry's default pipeline; ``[]`` runs no passes.
     ``strict=True`` raises :class:`NDlogValidationError` when validation
     fails; ``strict=False`` records the report on the artifact and
-    continues.  ``validate=False`` skips validation entirely.
+    continues.  ``validate=False`` skips validation entirely.  Programs
+    with no ``@`` location specifiers anywhere are recognized as plain
+    Datalog and validated without the NDlog distributed constraints
+    (rule safety, arities, aggregate placement and ground facts still
+    apply; deploying one still fails in ``localize``).
+
+    ``provenance=True`` arms derivation capture on the artifact: every
+    subsequent :meth:`CompiledProgram.run` / ``deploy`` records
+    rule-level provenance queryable through ``why`` / ``why_not`` and
+    auditable against the derivation counts (see
+    :mod:`repro.provenance`).  Off by default; disabled runs pay
+    nothing.  When re-compiling a :class:`CompiledProgram`, ``None``
+    keeps the artifact's flag and an explicit ``True``/``False``
+    produces a *derived* artifact with the flag set (the input artifact
+    is never mutated).
 
     A :class:`CompiledProgram` input composes instead of restarting:
     explicit ``passes`` are appended to its existing trace (see
@@ -720,9 +773,16 @@ def compile(
         # trace is carried forward and only the explicitly requested
         # passes are appended (running the *default* pipeline again on
         # an already-rewritten program would double-apply rewrites).
-        if passes is None and registry is None:
-            return source_or_program
-        return source_or_program.extended(passes or [], registry=registry)
+        # An explicit provenance flag yields a derived artifact; the
+        # input is never mutated.
+        artifact = source_or_program
+        same_provenance = provenance is None or provenance == artifact.provenance
+        if passes is None and registry is None and same_provenance:
+            return artifact
+        derived = artifact.extended(passes or [], registry=registry)
+        if not same_provenance:
+            derived.provenance = provenance
+        return derived
     registry = registry or DEFAULT_REGISTRY
     if isinstance(source_or_program, Program):
         program = source_or_program
@@ -736,13 +796,19 @@ def compile(
 
     report: Optional[ValidationReport] = None
     if validate:
+        # Location-free programs are plain Datalog: the distributed
+        # constraints (Definitions 1-6) do not apply, but rule safety,
+        # arities, aggregate placement and ground facts still do.
         report = validate_program(
-            program, strict_address_types=strict_address_types
+            program,
+            strict_address_types=strict_address_types,
+            distributed=not _is_location_free(program),
         )
         if strict and not report.ok:
             raise NDlogValidationError(
                 f"program {program.name or '<anonymous>'!r} failed "
                 f"validation: " + "; ".join(report.errors)
+                + " (pass validate=False to compile anyway)"
             )
 
     trace: List[PassSnapshot] = []
@@ -758,6 +824,7 @@ def compile(
         trace=tuple(trace),
         report=report,
         registry=registry,
+        provenance=bool(provenance),
     )
 
 
@@ -874,6 +941,35 @@ class Deployment:
     def query_rows(self) -> frozenset:
         """Union of the query predicate's rows across all nodes."""
         return self.cluster.query_rows()
+
+    # -- provenance -----------------------------------------------------
+    @property
+    def provenance(self):
+        """The deployment's shared
+        :class:`~repro.provenance.store.ProvenanceStore` (``None`` when
+        capture is off)."""
+        return self.cluster.provenance
+
+    def why(self, pred: str, args: Tuple, max_depth: int = 128):
+        """Derivation tree for ``pred(args)`` anywhere in the network:
+        the lineage crosses nodes through the recorded firings (remote
+        deltas piggyback their derivation ids on the wire).  Requires
+        ``compile(..., provenance=True)``; returns ``None`` when the
+        store holds no live support (then ask :meth:`why_not`)."""
+        return self.cluster.why(pred, args, max_depth=max_depth)
+
+    def why_not(self, pred: str, args: Tuple, depth: int = 2):
+        """Failed-body analysis for the absent ``pred(args)`` against
+        the pre-localization rule set and the union table state across
+        nodes (``None`` entries are wildcards).  Works with or without
+        provenance capture."""
+        return self.cluster.why_not(pred, args, depth=depth)
+
+    def audit(self, strict: Optional[bool] = None):
+        """Cross-check every node's derivation counts against the
+        provenance graph (see :func:`repro.provenance.audit_cluster`);
+        call at quiescence."""
+        return self.cluster.audit(strict=strict)
 
     # -- surfaces -------------------------------------------------------
     @property

@@ -50,9 +50,11 @@ class BSNEngine(PSNEngine):
         on_commit=None,
         use_plans: bool = True,
         batch_size: int = 1,
+        provenance=None,
     ):
         super().__init__(program, db=db, on_commit=on_commit,
-                         use_plans=use_plans, batch_size=batch_size)
+                         use_plans=use_plans, batch_size=batch_size,
+                         provenance=provenance)
         self.scheduler = scheduler
         self.iterations = 0
 
@@ -91,8 +93,9 @@ def evaluate(
     max_steps: int = DEFAULT_MAX_STEPS,
     use_plans: bool = True,
     batch_size: int = 1,
+    provenance=None,
 ) -> EvalResult:
     """Run ``program`` to fixpoint with BSN and return the result."""
     return BSNEngine(program, db=db, scheduler=scheduler,
-                     use_plans=use_plans,
-                     batch_size=batch_size).fixpoint(max_steps=max_steps)
+                     use_plans=use_plans, batch_size=batch_size,
+                     provenance=provenance).fixpoint(max_steps=max_steps)

@@ -52,17 +52,45 @@ def _table_sources(crule: CompiledRule, db: Database) -> Dict[int, object]:
     }
 
 
+def seed_base_provenance(provenance, program: Program, db: Database):
+    """Record the pre-loaded EDB rows as base events (the set-oriented
+    engines load facts straight into tables, so there is no queue seam
+    to observe them on) and return a derived recorder with ``dedup``
+    on -- these engines legitimately re-derive every join each
+    iteration, and the set semantics must not leak back into the
+    caller's recorder."""
+    from repro.engine.facts import Fact
+
+    provenance = provenance.bind(dedup=True)
+    provenance.register_views({
+        rule.head.pred for rule in program.rules
+        if rule.head_aggregate() is not None or rule.argmin is not None
+    })
+    idb = program.idb_predicates()
+    for table in db.tables.values():
+        if table.name in idb:
+            continue
+        for args in table.rows():
+            for _ in range(table.count(args)):
+                provenance.base(Fact(table.name, args), 1)
+    return provenance
+
+
 def evaluate(
     program: Program,
     db: Optional[Database] = None,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     use_plans: bool = True,
+    provenance=None,
 ) -> EvalResult:
     if db is None:
         db = Database.for_program(program)
     load_program_facts(program, db)
-    result = EvalResult(db=db)
+    result = EvalResult(db=db, program=program)
     stats = StatsCatalog.from_database(db) if use_plans else None
+    if provenance is not None:
+        provenance = seed_base_provenance(provenance, program, db)
+        result.provenance = provenance.store
 
     for stratum in stratify(program):
         compiled = [CompiledRule(rule) for rule in stratum.rules]
@@ -97,6 +125,9 @@ def evaluate(
                 ):
                     result.inferences += 1
                     head = _head_of(crule, bindings, db.functions, plan)
+                    if provenance is not None:
+                        provenance.capture(crule, bindings, head, 1,
+                                           db.functions)
                     if head not in table:
                         table.insert(head)
                         changed = True
@@ -114,6 +145,9 @@ def evaluate(
             ):
                 result.inferences += 1
                 contribution = _head_of(crule, bindings, db.functions, plan)
+                if provenance is not None:
+                    provenance.capture(crule, bindings, contribution, 1,
+                                       db.functions)
                 view.apply(contribution, 1)
             table = db.table(crule.head.pred)
             for head in view.current_rows():
@@ -123,18 +157,22 @@ def evaluate(
         # Arg-min witness views (non-recursive only; see stratify):
         # recompute the deterministic group winner from scratch.
         for crule in argmins:
-            _materialize_argmin(db, crule, result, plan=plans[id(crule)])
+            _materialize_argmin(db, crule, result, plan=plans[id(crule)],
+                                provenance=provenance)
     return result
 
 
 def _materialize_argmin(db: Database, crule: CompiledRule,
-                        result: EvalResult, plan=None) -> None:
+                        result: EvalResult, plan=None,
+                        provenance=None) -> None:
     group_positions, value_position, func = crule.argmin
     rule_sources = _table_sources(crule, db)
     winners = {}
     for bindings in _solutions(crule, rule_sources, db.functions, plan):
         result.inferences += 1
         head = _head_of(crule, bindings, db.functions, plan)
+        if provenance is not None:
+            provenance.capture(crule, bindings, head, 1, db.functions)
         group = tuple(head[i] for i in group_positions)
         best = winners.get(group)
         if best is None:

@@ -202,6 +202,7 @@ class PSNEngine:
         use_plans: bool = True,
         stats: Optional[StatsCatalog] = None,
         batch_size: int = 1,
+        provenance=None,
     ):
         self.program = program
         self.db = db if db is not None else Database.for_program(program)
@@ -251,6 +252,20 @@ class PSNEngine:
         self.steps = 0
         self.cancelled = 0
         self.on_commit = on_commit
+        #: Optional :class:`~repro.provenance.store.ProvenanceRecorder`.
+        #: Every hook site below is guarded by one ``None`` check, so
+        #: the disabled path (the default) costs nothing.
+        if provenance is not None:
+            if provenance.clock is None:
+                # Derive (never mutate) the caller's recorder: stamp
+                # records with this engine's delta clock.
+                provenance = provenance.bind(
+                    clock=lambda: float(self.clock)
+                )
+            provenance.register_views(
+                set(self.views) | set(self.argmin_views)
+            )
+        self.provenance = provenance
 
     def _unbatchable_preds(self):
         """Extra predicates the batched path must hand to the per-delta
@@ -266,11 +281,17 @@ class PSNEngine:
         attributes (detected at commit) is an *update*: the old tuple is
         deleted first, exactly as "an update is treated as a deletion
         followed by an insertion"."""
-        self.derive(Fact(pred, tuple(args)), 1)
+        fact = Fact(pred, tuple(args))
+        if self.provenance is not None:
+            self.provenance.base(fact, 1)
+        self.derive(fact, 1)
 
     def delete(self, pred: str, args: Tuple) -> None:
         """Delete a base tuple outright (whatever its derivation count)."""
-        self._enqueue(QueuedDelta(Fact(pred, tuple(args)), -1, force=True))
+        fact = Fact(pred, tuple(args))
+        if self.provenance is not None:
+            self.provenance.base(fact, -1)
+        self._enqueue(QueuedDelta(fact, -1, force=True))
 
     def update(self, pred: str, args: Tuple) -> None:
         """Alias of :meth:`insert`; replacement does the delete half."""
@@ -300,18 +321,24 @@ class PSNEngine:
             self.insert(fact.pred, values)
         self.run(max_steps=max_steps)
         return EvalResult(
-            db=self.db, inferences=self.inferences, steps=self.steps
+            db=self.db, inferences=self.inferences, steps=self.steps,
+            provenance=(self.provenance.store
+                        if self.provenance is not None else None),
+            program=self.program,
         )
 
     def seed_existing(self) -> None:
         """Move rows loaded before the engine existed onto the queue, so
         they flow through the same commit pipeline as everything else."""
+        provenance = self.provenance
         for table in self.db.tables.values():
             for args in table.rows():
                 count = table.count(args)
                 table.force_delete(args)
                 fact = Fact(table.name, args)
                 for _ in range(count):
+                    if provenance is not None:
+                        provenance.base(fact, 1)
                     self._enqueue(QueuedDelta(fact, 1))
 
     def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
@@ -545,6 +572,8 @@ class PSNEngine:
                 continue
             if on_commit is not None:
                 on_commit(fact, -1)
+            if self.provenance is not None:
+                self.provenance.retracted(fact)
             table.force_delete(fact.args)
             pending.append(fact)
         if pending:
@@ -589,6 +618,10 @@ class PSNEngine:
         if self.on_commit is not None:
             self.on_commit(fact, -1)
         self._fire_strands(fact, -1)
+        if self.provenance is not None:
+            # The row is dropped wholesale (replacement / forced delete /
+            # last derivation); kill its remaining live support.
+            self.provenance.retracted(fact)
         self.db.table(fact.pred).force_delete(fact.args)
 
     def _fire_strands(self, fact: Fact, sign: int) -> None:
@@ -598,6 +631,7 @@ class PSNEngine:
     def _fire_strand(self, strand: Strand, fact: Fact, sign: int) -> None:
         crule = strand.crule
         functions = self.db.functions
+        capture = self.provenance
         if strand.plan is not None:
             seed = strand.driver_step.match(fact.args, {}, functions)
             if seed is None:
@@ -605,11 +639,20 @@ class PSNEngine:
             emit = self._emit
             instantiate = crule.instantiate
             inferences = 0
-            for bindings in strand.bound_executor(
-                seed, None, functions, fact, None
-            ):
-                inferences += 1
-                emit(crule, instantiate(bindings, functions), sign)
+            if capture is None:
+                for bindings in strand.bound_executor(
+                    seed, None, functions, fact, None
+                ):
+                    inferences += 1
+                    emit(crule, instantiate(bindings, functions), sign)
+            else:
+                for bindings in strand.bound_executor(
+                    seed, None, functions, fact, None
+                ):
+                    inferences += 1
+                    head = instantiate(bindings, functions)
+                    capture.capture(crule, bindings, head, sign, functions)
+                    emit(crule, head, sign)
             self.inferences += inferences
             return
         seed = unify_literal(strand.driver_literal, fact.args, {}, functions)
@@ -625,6 +668,8 @@ class PSNEngine:
         ):
             self.inferences += 1
             head = instantiate_head(crule, bindings, functions)
+            if capture is not None:
+                capture.capture(crule, bindings, head, sign, functions)
             self._emit(crule, head, sign)
 
     def _fire_strands_batch(self, facts: List[Fact], sign: int) -> None:
@@ -638,6 +683,7 @@ class PSNEngine:
                            sign: int) -> None:
         crule = strand.crule
         functions = self.db.functions
+        capture = self.provenance
         batch_view = crule.aggregate is not None or crule.argmin is not None
         heads: Optional[List[Tuple]] = [] if batch_view else None
         inferences = 0
@@ -653,6 +699,9 @@ class PSNEngine:
                 for bindings in executor(seed, None, functions, fact, None):
                     inferences += 1
                     head = instantiate(bindings, functions)
+                    if capture is not None:
+                        capture.capture(crule, bindings, head, sign,
+                                        functions)
                     if batch_view:
                         heads.append(head)
                     else:
@@ -671,6 +720,9 @@ class PSNEngine:
                 ):
                     inferences += 1
                     head = instantiate_head(crule, bindings, functions)
+                    if capture is not None:
+                        capture.capture(crule, bindings, head, sign,
+                                        functions)
                     if batch_view:
                         heads.append(head)
                     else:
@@ -708,8 +760,9 @@ def evaluate(
     max_steps: int = DEFAULT_MAX_STEPS,
     use_plans: bool = True,
     batch_size: int = 1,
+    provenance=None,
 ) -> EvalResult:
     """Run ``program`` to fixpoint with PSN and return the result."""
     engine = PSNEngine(program, db=db, use_plans=use_plans,
-                       batch_size=batch_size)
+                       batch_size=batch_size, provenance=provenance)
     return engine.fixpoint(max_steps=max_steps)

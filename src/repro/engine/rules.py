@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.facts import Fact
 from repro.errors import EvaluationError, PlanError
 from repro.ndlog.ast import Assignment, Condition, Literal, Rule
 from repro.ndlog.terms import (
@@ -135,6 +136,8 @@ class CompiledRule:
         #: (group_positions, value_position, func) witness annotation.
         self.argmin = rule.argmin
         self._head_getters: Optional[Tuple[Callable, ...]] = None
+        self._body_getters = None
+        self._label = rule.label or repr(rule.head)
 
     def head_getters(self) -> Tuple[Callable, ...]:
         """Compiled head template: one ``getter(bindings, functions)``
@@ -181,9 +184,46 @@ class CompiledRule:
             getters = self.head_getters()
         return tuple([g(bindings, functions) for g in getters])
 
+    def ground_body(self, bindings: Dict[str, object],
+                    functions: Dict[str, Callable]):
+        """Ground every body literal under a full solution's bindings.
+
+        The provenance capture seam shared by all four engines: a
+        solution yielded by :func:`solve` / :func:`execute_plan` binds
+        every body-literal variable, so the participating facts can be
+        re-derived from the bindings after the fact -- the join
+        executors themselves stay capture-free (and cost nothing when
+        provenance is off).  Per-literal argument getters are compiled
+        once, lazily, on first capture.
+        """
+        getters = self._body_getters
+        if getters is None:
+            compiled = []
+            for index in self.literal_indexes:
+                literal = self.body[index]
+                arg_getters: List[Callable] = []
+                for term in literal.args:
+                    if isinstance(term, Constant):
+                        arg_getters.append(
+                            lambda bindings, functions, _v=term.value: _v
+                        )
+                    elif isinstance(term, Variable):
+                        arg_getters.append(
+                            lambda bindings, functions, _n=term.name:
+                            bindings[_n]
+                        )
+                    else:
+                        arg_getters.append(compile_term(term))
+                compiled.append((literal.pred, tuple(arg_getters)))
+            getters = self._body_getters = tuple(compiled)
+        return tuple(
+            Fact(pred, tuple(g(bindings, functions) for g in arg_getters))
+            for pred, arg_getters in getters
+        )
+
     @property
     def label(self) -> str:
-        return self.rule.label or repr(self.rule.head)
+        return self._label
 
     def body_preds(self) -> Tuple[str, ...]:
         return tuple(self.body[i].pred for i in self.literal_indexes)

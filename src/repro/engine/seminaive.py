@@ -48,15 +48,21 @@ def evaluate(
     db: Optional[Database] = None,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     use_plans: bool = True,
+    provenance=None,
 ) -> EvalResult:
     if db is None:
         db = Database.for_program(program)
     load_program_facts(program, db)
-    result = EvalResult(db=db)
+    result = EvalResult(db=db, program=program)
+    if provenance is not None:
+        from repro.engine.naive import seed_base_provenance
+
+        provenance = seed_base_provenance(provenance, program, db)
+        result.provenance = provenance.store
 
     for stratum in stratify(program):
         _evaluate_stratum(program, db, stratum, result, max_iterations,
-                          use_plans)
+                          use_plans, provenance=provenance)
     return result
 
 
@@ -67,6 +73,7 @@ def _evaluate_stratum(
     result: EvalResult,
     max_iterations: int,
     use_plans: bool = True,
+    provenance=None,
 ) -> None:
     compiled = [CompiledRule(rule) for rule in stratum.rules]
     plain = [c for c in compiled
@@ -119,6 +126,8 @@ def _evaluate_stratum(
         for bindings in _solutions(crule, rule_sources, db.functions, plan):
             result.inferences += 1
             head = _head_of(crule, bindings, db.functions, plan)
+            if provenance is not None:
+                provenance.capture(crule, bindings, head, 1, db.functions)
             if head not in table and head not in buffers[crule.head.pred]:
                 buffers[crule.head.pred].add(head)
 
@@ -181,6 +190,9 @@ def _evaluate_stratum(
                                            db.functions, plan):
                     result.inferences += 1
                     head = _head_of(crule, bindings, db.functions, plan)
+                    if provenance is not None:
+                        provenance.capture(crule, bindings, head, 1,
+                                           db.functions)
                     if head not in table and head not in buffers[head_pred]:
                         buffers[head_pred].add(head)
 
@@ -201,6 +213,9 @@ def _evaluate_stratum(
         for bindings in _solutions(crule, rule_sources, db.functions, plan):
             result.inferences += 1
             contribution = _head_of(crule, bindings, db.functions, plan)
+            if provenance is not None:
+                provenance.capture(crule, bindings, contribution, 1,
+                                   db.functions)
             view.apply(contribution, 1)
         table = db.table(crule.head.pred)
         for head in view.current_rows():
@@ -210,4 +225,5 @@ def _evaluate_stratum(
     from repro.engine.naive import _materialize_argmin
 
     for crule in argmins:
-        _materialize_argmin(db, crule, result, plan=base_plans[id(crule)])
+        _materialize_argmin(db, crule, result, plan=base_plans[id(crule)],
+                            provenance=provenance)

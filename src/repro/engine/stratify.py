@@ -114,10 +114,14 @@ def stratify(program: Program) -> List[Stratum]:
         for rule in member_rules:
             if recursive and (rule.head_aggregate() is not None
                               or rule.argmin is not None):
+                kind = ("arg-extreme view" if rule.argmin is not None
+                        else "aggregate rule")
                 raise PlanError(
-                    f"aggregate rule {rule.label or rule.head.pred} is "
-                    f"recursive; unsupported by set-oriented engines "
-                    f"(use PSN)"
+                    f"{kind} {rule.label or rule.head.pred} is recursive; "
+                    f"the set-oriented engines ('naive', 'seminaive') "
+                    f"evaluate stratum-by-stratum and cannot run it -- "
+                    f"use the pipelined engines ('psn' or 'bsn'), which "
+                    f"maintain monotonic aggregates incrementally"
                 )
         strata.append(Stratum(preds=preds, rules=member_rules, recursive=recursive))
     return strata

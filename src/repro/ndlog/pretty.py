@@ -113,3 +113,94 @@ def format_program(program: Program) -> str:
     if program.query is not None:
         lines.append(f"Query: {format_literal(program.query)}.")
     return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Provenance rendering
+# ----------------------------------------------------------------------
+def _safe_value(value) -> str:
+    """``format_value`` with a repr fallback for runtime-only values
+    that have no source form (e.g.
+    :class:`~repro.ndlog.terms.ConstructedTuple`, which real table rows
+    and wire payloads carry)."""
+    try:
+        return format_value(value)
+    except ReproError:
+        return repr(value)
+
+
+def format_fact(fact) -> str:
+    """Render a ground :class:`~repro.engine.facts.Fact` as source-style
+    text (``pred(v1, v2, ...)``)."""
+    return f"{fact.pred}({', '.join(_safe_value(v) for v in fact.args)})"
+
+
+def format_derivation(tree, indent: str = "") -> str:
+    """Render a :class:`~repro.provenance.query.DerivationTree` as an
+    indented proof tree.
+
+    Each line shows the fact, then how it holds: ``(base)`` for leaves,
+    ``<- rule @ node`` for rule firings, ``(...)`` for cycle/depth
+    truncations.  Accepts any object with the tree's attributes (no
+    import of :mod:`repro.provenance` -- this module stays a leaf).
+    """
+    if tree is None:
+        return indent + "(no derivation recorded)"
+    lines: List[str] = []
+    _format_tree(tree, indent, lines)
+    return "\n".join(lines)
+
+
+def _format_tree(tree, indent: str, lines: List[str]) -> None:
+    label = format_fact(tree.fact)
+    if tree.truncated:
+        lines.append(f"{indent}{label}   (see above; cycle truncated)")
+        return
+    if tree.rule is None:
+        lines.append(f"{indent}{label}   (base)")
+        return
+    where = f" @ {tree.node}" if tree.node else ""
+    extra = (f", {tree.alternatives} derivations"
+             if tree.alternatives > 1 else "")
+    lines.append(f"{indent}{label}   <- {tree.rule}{where}{extra}")
+    for child in tree.children:
+        _format_tree(child, indent + "  ", lines)
+
+
+def format_why_not(report, indent: str = "") -> str:
+    """Render a :class:`~repro.provenance.query.WhyNotReport` as an
+    indented failure analysis."""
+    pattern = ", ".join(
+        "_" if value is None else _safe_value(value)
+        for value in report.args
+    )
+    head = f"{indent}why not {report.pred}({pattern})?"
+    lines = [head]
+    if report.present:
+        lines.append(f"{indent}  -> present (a matching tuple exists)")
+        return "\n".join(lines)
+    if report.is_base:
+        lines.append(
+            f"{indent}  -> base relation: no rule derives "
+            f"{report.pred}; the fact was never inserted"
+        )
+        return "\n".join(lines)
+    for failure in report.failures:
+        if failure.status == "head-mismatch":
+            lines.append(
+                f"{indent}  rule {failure.rule}: head cannot match the "
+                f"requested tuple"
+            )
+        elif failure.status == "satisfiable":
+            lines.append(
+                f"{indent}  rule {failure.rule}: body is satisfiable -- "
+                f"the tuple should be derivable (engine inconsistency?)"
+            )
+        else:
+            lines.append(
+                f"{indent}  rule {failure.rule}: blocked on "
+                f"{failure.blocker}"
+            )
+            if failure.nested is not None:
+                lines.append(format_why_not(failure.nested, indent + "    "))
+    return "\n".join(lines)

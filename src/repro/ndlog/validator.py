@@ -111,7 +111,8 @@ def _address_usage(rule: Rule) -> Dict[str, Set[bool]]:
     return usage
 
 
-def validate(program: Program, strict_address_types: bool = True) -> ValidationReport:
+def validate(program: Program, strict_address_types: bool = True,
+             distributed: bool = True) -> ValidationReport:
     """Validate ``program`` and return a :class:`ValidationReport`.
 
     With ``strict_address_types=False`` the address-type-safety check is
@@ -119,6 +120,13 @@ def validate(program: Program, strict_address_types: bool = True) -> ValidationR
     as the ``@``-form appears in a location position (the paper's own
     examples write ``f_concatPath(link(@S,@D,C), nil)``, reusing address
     variables inside function arguments).
+
+    With ``distributed=False`` the NDlog-specific constraints
+    (Definitions 1-6: location specificity, address type safety,
+    link-restriction) are skipped -- the mode the compiler uses for
+    location-free plain-Datalog programs -- while the plain-Datalog
+    sanity checks (arity consistency, rule safety, aggregate placement,
+    no negation, ground facts) still apply.
     """
     report = ValidationReport()
     errors = report.errors
@@ -147,27 +155,31 @@ def validate(program: Program, strict_address_types: bool = True) -> ValidationR
                     f"{name}: negation is not supported (future work in the paper)"
                 )
 
-        # Constraint 1: location specificity.
-        for literal in (rule.head, *rule.body_literals):
-            if not literal.args:
-                errors.append(f"{name}: {literal.pred} has no location specifier")
-                continue
-            loc = literal.args[0]
-            is_marked = isinstance(loc, (Variable, Constant)) and loc.location
-            if not is_marked:
-                errors.append(
-                    f"{name}: first attribute of {literal.pred} is not a "
-                    f"location specifier (@...)"
-                )
+        if distributed:
+            # Constraint 1: location specificity.
+            for literal in (rule.head, *rule.body_literals):
+                if not literal.args:
+                    errors.append(
+                        f"{name}: {literal.pred} has no location specifier"
+                    )
+                    continue
+                loc = literal.args[0]
+                is_marked = (isinstance(loc, (Variable, Constant))
+                             and loc.location)
+                if not is_marked:
+                    errors.append(
+                        f"{name}: first attribute of {literal.pred} is not "
+                        f"a location specifier (@...)"
+                    )
 
-        # Constraint 2: address type safety.
-        usage = _address_usage(rule)
-        for var, flags in usage.items():
-            if len(flags) > 1 and strict_address_types:
-                errors.append(
-                    f"{name}: variable {var} used both as address and "
-                    f"non-address type"
-                )
+            # Constraint 2: address type safety.
+            usage = _address_usage(rule)
+            for var, flags in usage.items():
+                if len(flags) > 1 and strict_address_types:
+                    errors.append(
+                        f"{name}: variable {var} used both as address and "
+                        f"non-address type"
+                    )
 
         # Constraint 3: stored link relations.
         if rule.body and rule.head.pred in link_preds:
@@ -176,13 +188,14 @@ def validate(program: Program, strict_address_types: bool = True) -> ValidationR
                 f"(link relations must be stored)"
             )
 
-        # Constraint 4: link restriction.
-        if is_local_rule(rule):
-            report.local_rules.append(name)
-        elif is_link_restricted(rule):
-            report.link_restricted_rules.append(name)
-        else:
-            errors.append(f"{name}: non-local rule is not link-restricted")
+        if distributed:
+            # Constraint 4: link restriction.
+            if is_local_rule(rule):
+                report.local_rules.append(name)
+            elif is_link_restricted(rule):
+                report.link_restricted_rules.append(name)
+            else:
+                errors.append(f"{name}: non-local rule is not link-restricted")
 
         # Safety: head variables must be bound by positive body literals
         # or assignments.

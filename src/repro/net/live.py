@@ -80,23 +80,35 @@ def _decode_value(value):
 
 
 def encode_message(message: Message) -> bytes:
+    # Each delta is [pred, sign, args] with an optional 4th element: the
+    # provenance tag of the producing derivation (omitted when absent,
+    # so provenance-off runs keep the historical wire layout byte for
+    # byte).
+    deltas = []
+    for delta in message.deltas:
+        entry = [delta.pred, delta.sign,
+                 [_encode_value(arg) for arg in delta.args]]
+        if delta.prov is not None:
+            entry.append(delta.prov)
+        deltas.append(entry)
     return json.dumps({
         "s": message.src,
         "d": message.dst,
         "h": message.shared_bytes,
-        "t": [
-            [delta.pred, delta.sign,
-             [_encode_value(arg) for arg in delta.args]]
-            for delta in message.deltas
-        ],
+        "t": deltas,
     }, separators=(",", ":")).encode("utf-8")
 
 
 def decode_message(data: bytes) -> Message:
     raw = json.loads(data.decode("utf-8"))
     deltas = tuple(
-        NetDelta(pred, tuple(_decode_value(arg) for arg in args), sign)
-        for pred, sign, args in raw["t"]
+        NetDelta(
+            entry[0],
+            tuple(_decode_value(arg) for arg in entry[2]),
+            entry[1],
+            entry[3] if len(entry) > 3 else None,
+        )
+        for entry in raw["t"]
     )
     return Message(src=raw["s"], dst=raw["d"], deltas=deltas,
                    shared_bytes=raw["h"])

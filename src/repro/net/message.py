@@ -10,7 +10,7 @@ cost more to ship), which this model captures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.ndlog.terms import ConstructedTuple
 
@@ -42,11 +42,19 @@ def tuple_size(pred: str, args: Tuple) -> int:
 
 @dataclass(frozen=True)
 class NetDelta:
-    """One signed tuple as shipped over a link."""
+    """One signed tuple as shipped over a link.
+
+    ``prov`` is an optional provenance tag: the derivation id (in the
+    deployment's shared provenance store) of the rule firing that
+    produced this tuple at the sender, piggybacked so the receiving
+    node can link its materialization back to the producing derivation.
+    Observability metadata: excluded from equality and from the byte
+    model (the paper's communication metric predates provenance)."""
 
     pred: str
     args: Tuple
     sign: int
+    prov: Optional[int] = field(default=None, compare=False)
 
     def payload_size(self) -> int:
         # Cached: the fields are frozen, and the size walk recurses

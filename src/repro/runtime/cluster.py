@@ -21,7 +21,7 @@ import random
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.facts import Fact
-from repro.errors import NetworkError, PlanError
+from repro.errors import NetworkError, PlanError, SchemaError
 from repro.net.channel import Channel
 from repro.net.clock import Clock
 from repro.net.link import LinkChannel
@@ -93,6 +93,15 @@ class Cluster:
             raise PlanError("localization failed to produce canonical rules",
                             pass_name="localize")
 
+        #: Shared derivation-provenance store (one per deployment; node
+        #: records are tagged with their firing node), or ``None`` when
+        #: the artifact was compiled without ``provenance=True``.
+        self.provenance = None
+        if getattr(compiled, "provenance", False):
+            from repro.provenance import ProvenanceStore
+
+            self.provenance = ProvenanceStore()
+
         self.transport = Transport(self, self.config)
         self._channels: Dict[Tuple[str, str], Channel] = {}
         for (a, b), metrics in overlay.links.items():
@@ -155,15 +164,16 @@ class Cluster:
         key = (a, b) if a <= b else (b, a)
         return self._channels.get(key)
 
-    def ship(self, src: str, dst: str, pred: str, args: Tuple, sign: int) -> None:
-        self.transport.send(src, dst, pred, args, sign)
+    def ship(self, src: str, dst: str, pred: str, args: Tuple, sign: int,
+             prov: Optional[int] = None) -> None:
+        self.transport.send(src, dst, pred, args, sign, prov=prov)
 
     def deliver(self, message: Message) -> None:
         node = self.nodes.get(message.dst)
         if node is None:
             raise NetworkError(f"message to unknown node {message.dst}")
         for delta in message.deltas:
-            node.receive(delta.pred, delta.args, delta.sign)
+            node.receive(delta.pred, delta.args, delta.sign, prov=delta.prov)
 
     def pkey_of(self, pred: str, args: Tuple) -> Tuple:
         key = self._pkeys.get(pred)
@@ -215,3 +225,48 @@ class Cluster:
 
     def total_deltas_processed(self) -> int:
         return sum(node.deltas_processed for node in self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # Provenance queries
+    # ------------------------------------------------------------------
+    def _require_provenance(self):
+        if self.provenance is None:
+            raise PlanError(
+                "deployment was compiled without provenance capture; "
+                "compile(..., provenance=True) before deploying"
+            )
+        return self.provenance
+
+    def why(self, pred: str, args: Tuple, max_depth: int = 128):
+        """Derivation tree for ``pred(args)``, traced across nodes."""
+        from repro.provenance import why as _why
+
+        return _why(self._require_provenance(), pred, tuple(args),
+                    max_depth=max_depth)
+
+    def why_not(self, pred: str, args: Tuple, depth: int = 2):
+        """Failed-body analysis against the pre-localization rule set
+        and the union of every node's tables."""
+        from repro.provenance import why_not as _why_not
+
+        def rows_of(name: str):
+            try:
+                # repr-keyed sort: deterministic enumeration order for
+                # the analysis even with mixed-type columns.
+                return sorted(self.rows(name), key=repr)
+            except SchemaError:
+                return ()  # predicate unknown to the deployed schema
+
+        sample = next(iter(self.nodes.values()))
+        return _why_not(
+            self.source_program, rows_of, pred, tuple(args),
+            functions=sample.db.functions, depth=depth,
+        )
+
+    def audit(self, strict: Optional[bool] = None):
+        """Cross-check per-node derivation counts against the shared
+        provenance graph; call at quiescence."""
+        self._require_provenance()
+        from repro.provenance import audit_cluster
+
+        return audit_cluster(self, strict=strict)

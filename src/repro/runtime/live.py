@@ -137,7 +137,8 @@ class LiveCluster(Cluster):
                 return
             try:
                 for delta in message.deltas:
-                    node.receive(delta.pred, delta.args, delta.sign)
+                    node.receive(delta.pred, delta.args, delta.sign,
+                                 prov=delta.prov)
             except BaseException as exc:  # noqa: BLE001 -- surfaced at stop
                 self._task_failures.append((name, exc))
 
@@ -400,6 +401,28 @@ class LiveDeployment:
 
     def query_rows(self) -> frozenset:
         return self._require_started().query_rows()
+
+    # -- provenance -----------------------------------------------------
+    @property
+    def provenance(self):
+        """The shared provenance store (``None`` before start or when
+        capture is off)."""
+        return self.cluster.provenance if self.cluster is not None else None
+
+    def why(self, pred: str, args: Tuple, max_depth: int = 128):
+        """Derivation tree for ``pred(args)`` on the live network (see
+        :meth:`repro.api.Deployment.why`).  Readable after ``stop()``."""
+        return self._require_started().why(pred, args, max_depth=max_depth)
+
+    def why_not(self, pred: str, args: Tuple, depth: int = 2):
+        """Failed-body analysis for the absent ``pred(args)`` (see
+        :meth:`repro.api.Deployment.why_not`)."""
+        return self._require_started().why_not(pred, args, depth=depth)
+
+    def audit(self, strict: Optional[bool] = None):
+        """Count/graph cross-check at quiescence (see
+        :func:`repro.provenance.audit_cluster`)."""
+        return self._require_started().audit(strict=strict)
 
     # -- surfaces -------------------------------------------------------
     @property

@@ -42,8 +42,15 @@ class NodeRuntime(PSNEngine):
         # cluster's cache policy.
         self.address = address
         self.cluster = cluster
+        store = getattr(cluster, "provenance", None)
+        recorder = None
+        if store is not None:
+            recorder = store.recorder(
+                node=address, clock=lambda: cluster.clock.now
+            )
         super().__init__(program, db=Database.for_program(program),
-                         batch_size=cluster.config.cpu_batch)
+                         batch_size=cluster.config.cpu_batch,
+                         provenance=recorder)
         self._tick_scheduled = False
         self.deltas_processed = 0
         self.on_commit = self._commit_hook
@@ -98,12 +105,18 @@ class NodeRuntime(PSNEngine):
     # ------------------------------------------------------------------
     # Network interface
     # ------------------------------------------------------------------
-    def receive(self, pred: str, args: Tuple, sign: int) -> None:
+    def receive(self, pred: str, args: Tuple, sign: int,
+                prov: Optional[int] = None) -> None:
         """A tuple arrived over a link: enqueue it like a local delta
         ("a timestamp is added to each tuple at arrival", Section 3.3.2
         -- in our commit discipline the arrival order itself is the
-        timestamp)."""
-        self.derive(Fact(pred, tuple(args)), sign)
+        timestamp).  ``prov`` is the piggybacked derivation id from the
+        producing node, noted on the shared store so the arrival is
+        traceable even across a real (UDP) wire."""
+        fact = Fact(pred, tuple(args))
+        if prov is not None and self.provenance is not None and sign > 0:
+            self.provenance.arrival(fact, prov)
+        self.derive(fact, sign)
 
     def _emit(self, crule: CompiledRule, head: Tuple, sign: int) -> None:
         pred = crule.head.pred
@@ -123,7 +136,15 @@ class NodeRuntime(PSNEngine):
         if destination == self.address:
             self.derive(Fact(pred, head), sign)
         else:
-            self.cluster.ship(self.address, destination, pred, head, sign)
+            prov = None
+            if self.provenance is not None and sign > 0:
+                # Piggyback the freshest live derivation id so the
+                # remote materialization links back to this firing.
+                prov = self.provenance.store.latest_live_id(
+                    Fact(pred, head)
+                )
+            self.cluster.ship(self.address, destination, pred, head, sign,
+                              prov=prov)
 
     # ------------------------------------------------------------------
     # Query-result caching hooks (Section 5.2)
@@ -185,9 +206,11 @@ class NodeRuntime(PSNEngine):
         full_cost = args[policy.cost_position] + suffix_cost
         qid = args[1]
         self.cache_hits += 1
-        self.derive(
-            Fact(policy.answer_pred,
-                 (self.address, qid, full_path, full_cost)),
-            1,
-        )
+        answer = Fact(policy.answer_pred,
+                      (self.address, qid, full_path, full_cost))
+        if self.provenance is not None:
+            # A cache hit synthesizes the answer outside any rule strand;
+            # record it so the derivation graph still supports the tuple.
+            self.provenance.record_fact("<cache>", answer, (fact,), 1)
+        self.derive(answer, 1)
         return policy.suppress_labels

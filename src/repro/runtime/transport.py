@@ -58,8 +58,9 @@ class Transport:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def send(self, src: str, dst: str, pred: str, args: Tuple, sign: int) -> None:
-        delta = NetDelta(pred, tuple(args), sign)
+    def send(self, src: str, dst: str, pred: str, args: Tuple, sign: int,
+             prov=None) -> None:
+        delta = NetDelta(pred, tuple(args), sign, prov)
         delay = self.config.buffer_interval or self.config.share_delay
         if not delay:
             self._transmit(src, dst, (delta,))

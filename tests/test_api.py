@@ -104,15 +104,42 @@ class TestCompile:
         assert compiled.report.link_restricted_rules == ["SP2"]
 
     def test_strict_validation_raises(self):
-        bad = parse("p(X) :- q(X).")  # no location specifiers
-        with pytest.raises(NDlogValidationError):
+        # Partially located: NDlog constraints apply and fail.
+        bad = parse("p(@X) :- q(X).")
+        with pytest.raises(NDlogValidationError) as excinfo:
             api.compile(bad)
+        # The error names the escape hatch.
+        assert "validate=False" in str(excinfo.value)
         # Non-strict: compiles, report carries the errors.
         compiled = api.compile(bad, strict=False, passes=[])
         assert not compiled.report.ok
 
+    def test_plain_datalog_compiles_without_validate_false(self):
+        # No location specifiers anywhere: plain Datalog is auto-detected
+        # and validated without the NDlog distributed constraints.
+        compiled = api.compile(programs.transitive_closure(), passes=[])
+        assert compiled.report is not None and compiled.report.ok
+        result = compiled.run(
+            engine="psn", facts={"edge": [("a", "b"), ("b", "c")]}
+        )
+        assert ("a", "c") in result.rows("tc")
+
+    def test_plain_datalog_keeps_non_distributed_checks(self):
+        # Rule safety still applies to plain Datalog...
+        with pytest.raises(NDlogValidationError):
+            api.compile(parse("p(X, Y) :- q(X)."), passes=[])
+        # ...and facts must still be ground.
+        with pytest.raises(NDlogValidationError):
+            api.compile(parse("f(X)."), passes=[])
+
+    def test_plain_datalog_detection_requires_total_absence(self):
+        # A single @ marker anywhere re-arms full validation.
+        partially = parse("p(X) :- q(X), r(@Y).")
+        with pytest.raises(NDlogValidationError):
+            api.compile(partially)
+
     def test_validate_false_skips_validation(self):
-        bad = parse("p(X) :- q(X).")
+        bad = parse("p(@X) :- q(X).")
         compiled = api.compile(bad, validate=False, passes=[])
         assert compiled.report is None
 

@@ -221,8 +221,10 @@ def test_recursive_aggregate_rejected_by_set_engines():
         R2: e(@S, C) :- best(@S, C1), C := C1 + 1.
         """
     )
-    with pytest.raises(PlanError):
+    with pytest.raises(PlanError) as excinfo:
         seminaive.evaluate(program, Database.for_program(program))
+    # The message must name the engines that *can* run the plan.
+    assert "psn" in str(excinfo.value) and "bsn" in str(excinfo.value)
 
 
 def test_iteration_counts_reported():

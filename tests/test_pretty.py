@@ -1,0 +1,231 @@
+"""Property tests for :mod:`repro.ndlog.pretty`.
+
+The pretty-printer is the one serialization boundary the whole system
+leans on -- pass snapshots, explain() output, and now provenance
+rendering all go through it.  Beyond the canonical-program round-trip
+in ``test_properties.py``, this file generates *random* programs from
+the full surface grammar (hypothesis) and checks
+
+    ``parse(format_program(p))`` is AST-equal to ``p``
+
+plus print idempotence, and unit-tests the provenance renderers
+(``format_fact`` / ``format_derivation`` / ``format_why_not``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.facts import Fact
+from repro.ndlog import pretty
+from repro.ndlog.ast import (
+    Assignment,
+    Condition,
+    INFINITY,
+    Literal,
+    Materialization,
+    Program,
+    Rule,
+)
+from repro.ndlog.parser import parse
+from repro.ndlog.terms import (
+    AggregateSpec,
+    BinOp,
+    Constant,
+    FuncCall,
+    NIL,
+    Variable,
+)
+from repro.provenance import DerivationTree
+
+# ----------------------------------------------------------------------
+# Strategies over the surface grammar
+# ----------------------------------------------------------------------
+PRED_NAMES = st.sampled_from(
+    ["path", "link", "route", "reach", "cost", "best", "tc", "edge", "q"]
+)
+VAR_NAMES = st.sampled_from(["S", "D", "Z", "P", "C", "X", "Y", "C1", "P2"])
+FUNC_NAMES = st.sampled_from(["f_concatPath", "f_member", "f_size"])
+LOCATION_NODES = st.sampled_from(["a", "b", "node1"])
+
+ground_values = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.booleans(),
+    st.sampled_from(["alpha", "n17", "some text", 'quo"te', "back\\slash",
+                     2.5, 0.125, NIL]),
+    st.tuples(st.integers(min_value=0, max_value=9),
+              st.sampled_from(["a", "b"])),
+)
+
+variables = st.builds(Variable, VAR_NAMES)
+location_terms = st.one_of(
+    st.builds(lambda n: Variable(n, location=True), VAR_NAMES),
+    st.builds(lambda n: Constant(n, location=True), LOCATION_NODES),
+)
+constants = st.builds(Constant, ground_values)
+
+base_terms = st.one_of(variables, constants)
+arith_ops = st.sampled_from(["+", "-", "*"])
+compare_ops = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+
+expressions = st.recursive(
+    base_terms,
+    lambda children: st.one_of(
+        st.builds(BinOp, arith_ops, children, children),
+        st.builds(
+            FuncCall, FUNC_NAMES,
+            st.lists(children, min_size=1, max_size=2).map(tuple),
+        ),
+    ),
+    max_leaves=4,
+)
+
+plain_args = st.lists(
+    st.one_of(variables, constants, expressions), min_size=0, max_size=3
+)
+
+
+@st.composite
+def literals(draw, link_ok=True):
+    pred = draw(PRED_NAMES)
+    args = [draw(location_terms)] + draw(plain_args)
+    link = draw(st.booleans()) if link_ok else False
+    return Literal(pred, tuple(args), link_literal=link)
+
+
+@st.composite
+def head_literals(draw):
+    head = draw(literals(link_ok=False))
+    if len(head.args) >= 2 and draw(st.booleans()):
+        spec = draw(st.one_of(
+            st.builds(AggregateSpec,
+                      st.sampled_from(["min", "max", "count", "sum"]),
+                      VAR_NAMES),
+            st.just(AggregateSpec("count", "")),  # count<*> parses var=""
+        ))
+        args = list(head.args)
+        args[-1] = spec
+        head = Literal(head.pred, tuple(args))
+    return head
+
+
+assignments = st.builds(
+    Assignment, st.builds(Variable, VAR_NAMES), expressions
+)
+conditions = st.builds(
+    Condition, st.builds(BinOp, compare_ops, expressions, expressions)
+)
+
+body_items = st.one_of(literals(), assignments, conditions)
+
+
+@st.composite
+def rules(draw, index=0):
+    head = draw(head_literals())
+    body = draw(st.lists(body_items, min_size=1, max_size=4))
+    label = draw(st.sampled_from(["", f"R{index}", "SP1", "myRule"]))
+    return Rule(head=head, body=tuple(body), label=label)
+
+
+@st.composite
+def ground_literals(draw):
+    pred = draw(PRED_NAMES)
+    loc = Constant(draw(LOCATION_NODES), location=True)
+    rest = draw(st.lists(st.builds(Constant, ground_values),
+                         min_size=0, max_size=3))
+    return Literal(pred, tuple([loc] + rest))
+
+
+@st.composite
+def materializations(draw):
+    pred = draw(PRED_NAMES)
+    # The parser reads materialize numbers as floats.
+    lifetime = draw(st.sampled_from([INFINITY, 10.0, 120.5]))
+    size = draw(st.sampled_from([INFINITY, 1000.0]))
+    keys = tuple(draw(st.lists(
+        st.integers(min_value=1, max_value=4),
+        min_size=1, max_size=3, unique=True,
+    )))
+    return Materialization(pred=pred, lifetime=lifetime, max_size=size,
+                           keys=keys)
+
+
+@st.composite
+def random_programs(draw):
+    rule_list = [draw(rules(index=i))
+                 for i in range(draw(st.integers(1, 4)))]
+    fact_list = draw(st.lists(ground_literals(), max_size=2))
+    mats = {m.pred: m for m in draw(st.lists(materializations(), max_size=2))}
+    query = draw(st.none() | literals(link_ok=False))
+    return Program(rules=rule_list, facts=fact_list,
+                   materializations=mats, query=query)
+
+
+# ----------------------------------------------------------------------
+# The round-trip property
+# ----------------------------------------------------------------------
+@given(program=random_programs())
+@settings(deadline=None, max_examples=200)
+def test_format_program_reparses_to_equal_ast(program):
+    text = pretty.format_program(program)
+    again = parse(text)
+    assert again.rules == program.rules
+    assert again.facts == program.facts
+    assert again.materializations == program.materializations
+    assert again.query == program.query
+    # Idempotence: printing the re-parse reproduces the text.
+    assert pretty.format_program(again) == text
+
+
+@given(term=expressions)
+@settings(deadline=None, max_examples=200)
+def test_format_term_reparses_inside_a_rule(term):
+    rule = Rule(
+        head=Literal("p", (Variable("S", location=True),)),
+        body=(
+            Literal("q", (Variable("S", location=True),)),
+            Assignment(Variable("V"), term),
+        ),
+    )
+    program = Program(rules=[rule])
+    again = parse(pretty.format_program(program))
+    assert again.rules == program.rules
+
+
+# ----------------------------------------------------------------------
+# Provenance renderers
+# ----------------------------------------------------------------------
+class TestProvenanceRendering:
+    def test_format_fact_handles_source_and_runtime_values(self):
+        assert pretty.format_fact(Fact("link", ("a", "b", 1))) == \
+            "link(a, b, 1)"
+        assert pretty.format_fact(Fact("p", (("a", "b"), True))) == \
+            "p([a, b], true)"
+
+    def test_format_derivation_tree(self):
+        leaf = DerivationTree(Fact("link", ("a", "b", 1)))
+        tree = DerivationTree(
+            Fact("path", ("a", "b", ("a", "b"), 1)),
+            rule="SP1", node="a", children=(leaf,),
+        )
+        text = pretty.format_derivation(tree)
+        lines = text.splitlines()
+        assert lines[0].startswith("path(")
+        assert "<- SP1 @ a" in lines[0]
+        assert lines[1].strip().endswith("(base)")
+
+    def test_format_derivation_truncation_and_none(self):
+        cut = DerivationTree(Fact("tc", ("a", "a")), truncated=True)
+        assert "truncated" in pretty.format_derivation(cut)
+        assert "no derivation" in pretty.format_derivation(None)
+
+    def test_format_why_not_handles_runtime_values(self):
+        from repro.ndlog.terms import ConstructedTuple
+        from repro.provenance import WhyNotReport
+
+        report = WhyNotReport(
+            pred="q",
+            args=("a", ConstructedTuple("link", ("a", "b")), None),
+            present=False, is_base=True,
+        )
+        text = pretty.format_why_not(report)
+        assert "never inserted" in text and "link" in text

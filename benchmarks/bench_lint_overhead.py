@@ -1,0 +1,96 @@
+"""Compile-time overhead gate for the ndlint static analyzer.
+
+The contract: turning the default ``lint="warn"`` mode on must add
+less than ``MAX_OVERHEAD_FRACTION`` to ``compile()`` on the
+shortest-path program, compared to ``lint="off"``.  The default mode
+is *lazy* -- the analyses run on first ``.diagnostics`` access, not
+inside ``compile()`` -- so the gate holds by construction and this
+benchmark keeps it honest (a regression that makes the default eager
+would trip it immediately).
+
+For visibility the script also times the analyses themselves (the
+cost a caller pays on first ``.diagnostics`` access or under
+``lint="error"``), which is NOT gated: it is the price of the check,
+paid knowingly.
+
+Run:  PYTHONPATH=src python benchmarks/bench_lint_overhead.py [--fast]
+Merges a ``lint_overhead`` record into BENCH_results.json.
+"""
+
+import statistics
+import sys
+import time
+
+import repro
+from repro.ndlog import programs
+
+from bench_results import merge_results
+
+#: CI gate: lint="warn" may add at most this fraction to compile().
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def time_compile(lint: str, rounds: int) -> float:
+    """Median seconds per compile() of shortest-path at ``lint``."""
+    samples = []
+    for _ in range(rounds):
+        program = programs.shortest_path()
+        start = time.perf_counter()
+        repro.compile(program, lint=lint)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def time_analysis(rounds: int) -> float:
+    """Median seconds for one full eager analysis (all five passes)."""
+    samples = []
+    for _ in range(rounds):
+        compiled = repro.compile(programs.shortest_path(), lint="warn")
+        start = time.perf_counter()
+        report = compiled.diagnostics
+        samples.append(time.perf_counter() - start)
+        assert report is not None and report.ok
+    return statistics.median(samples)
+
+
+def main() -> int:
+    fast = "--fast" in sys.argv
+    rounds = 20 if fast else 60
+    # Warm imports/caches so neither arm pays one-time costs.
+    time_compile("off", 3)
+    time_analysis(1)
+
+    off = time_compile("off", rounds)
+    warn = time_compile("warn", rounds)
+    analysis = time_analysis(5 if fast else 15)
+    overhead = (warn - off) / off if off else 0.0
+
+    print(f"compile(lint='off'):   {off * 1e3:8.3f} ms")
+    print(f"compile(lint='warn'):  {warn * 1e3:8.3f} ms")
+    print(f"overhead:              {overhead * 100:8.2f} % "
+          f"(gate: < {MAX_OVERHEAD_FRACTION * 100:.0f} %)")
+    print(f"eager analysis:        {analysis * 1e3:8.3f} ms "
+          f"(first .diagnostics access / lint='error'; not gated)")
+
+    merge_results({
+        "lint_overhead": {
+            "program": "shortest_path",
+            "rounds": rounds,
+            "compile_off_ms": round(off * 1e3, 3),
+            "compile_warn_ms": round(warn * 1e3, 3),
+            "overhead_fraction": round(overhead, 4),
+            "eager_analysis_ms": round(analysis * 1e3, 3),
+            "gate_max_fraction": MAX_OVERHEAD_FRACTION,
+        }
+    })
+
+    if overhead >= MAX_OVERHEAD_FRACTION:
+        print(f"FAIL: lint='warn' adds {overhead * 100:.2f} % to "
+              f"compile() (gate < {MAX_OVERHEAD_FRACTION * 100:.0f} %)")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

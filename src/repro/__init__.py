@@ -52,6 +52,7 @@ See ``examples/`` for full walkthroughs on simulated topologies and
 """
 
 from repro import ndlog  # noqa: F401
+from repro.analysis import AnalysisReport, Diagnostic, analyze
 from repro.api import (
     DEFAULT_REGISTRY,
     CompiledProgram,
@@ -88,6 +89,9 @@ __all__ = [
     "DerivationTree",
     "WhyNotReport",
     "AuditReport",
+    "analyze",
+    "AnalysisReport",
+    "Diagnostic",
 ]
 
 __version__ = "1.1.0"

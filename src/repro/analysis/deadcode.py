@@ -1,0 +1,163 @@
+"""Analysis 5: dead rules and unreachable relations (ND5xx).
+
+A derivability fixpoint over the predicate graph, seeded from the base
+tables (predicates never derived by a rule with a body -- the tables a
+deployment loads facts and link state into):
+
+* a rule *can fire* once every positive body literal reads a derivable
+  predicate and no body condition is statically false;
+* a predicate is *derivable* once it is a base table or some rule
+  deriving it can fire.
+
+Findings:
+
+* **ND501** (warning) -- a derived relation none of whose rules can
+  ever fire: it stays empty at every node, whatever the input;
+* **ND502** (warning) -- a dead rule: it reads a relation that is never
+  derivable, so it never contributes a tuple;
+* **ND503** (warning) -- a statically false condition (constant-folded
+  with the builtin function registry, plus the structural ``X != X``
+  shape): the rule body can never be satisfied;
+* **ND504** (info) -- a derived relation no rule body reads and that is
+  not the query: computed, shipped, and then dropped on the floor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.common import edb_predicates, rule_name, rule_span
+from repro.analysis.diagnostics import Diagnostic
+from repro.ndlog.ast import Condition, Program, Rule
+from repro.ndlog.functions import default_functions
+from repro.ndlog.pretty import format_term
+from repro.ndlog.terms import BinOp, evaluate
+
+ANALYSIS = "deadcode"
+
+_FUNCTIONS = default_functions()
+
+
+def _false_conditions(rule: Rule) -> List[Condition]:
+    """Body conditions that can be shown false without any bindings."""
+    out: List[Condition] = []
+    for item in rule.body:
+        if not isinstance(item, Condition):
+            continue
+        expr = item.expr
+        if not expr.variables():
+            # Ground condition: fold it.
+            try:
+                if not evaluate(expr, {}, _FUNCTIONS):
+                    out.append(item)
+            except Exception:
+                # EvaluationError, or a TypeError from comparing
+                # mixed-type constants -- either way the engines own
+                # the runtime complaint; folding just declines.
+                pass
+            continue
+        # Structural contradiction: X != X, X < X.
+        if (isinstance(expr, BinOp) and expr.op in ("!=", "<", ">")
+                and expr.left == expr.right):
+            out.append(item)
+    return out
+
+
+def analyze(program: Program):
+    """Run the derivability fixpoint; returns ``(diagnostics, summary)``."""
+    diagnostics: List[Diagnostic] = []
+    rules = [rule for rule in program.rules if rule.body]
+    derivable: Set[str] = set(edb_predicates(program))
+    false_conds: Dict[int, List[Condition]] = {}
+    for position, rule in enumerate(rules):
+        false_conds[position] = _false_conditions(rule)
+
+    def can_fire(rule: Rule, position: int) -> bool:
+        if false_conds[position]:
+            return False
+        return all(lit.negated or lit.pred in derivable
+                   for lit in rule.body_literals)
+
+    changed = True
+    while changed:
+        changed = False
+        for position, rule in enumerate(rules):
+            if rule.head.pred in derivable:
+                continue
+            if can_fire(rule, position):
+                derivable.add(rule.head.pred)
+                changed = True
+
+    derived = {rule.head.pred for rule in rules}
+    dead_relations = sorted(derived - derivable)
+    for pred in dead_relations:
+        defining = ", ".join(rule_name(r) for r in rules
+                             if r.head.pred == pred)
+        diagnostics.append(Diagnostic(
+            code="ND501", severity="warning", analysis=ANALYSIS,
+            pred=pred,
+            message=(
+                f"relation {pred!r} is underivable: none of its rules "
+                f"({defining}) can ever fire, so it stays empty on every "
+                f"node regardless of input"
+            ),
+            hint="seed it from a base table or delete its rules",
+        ))
+
+    dead_rules: List[str] = []
+    for position, rule in enumerate(rules):
+        name = rule_name(rule)
+        for cond in false_conds[position]:
+            diagnostics.append(Diagnostic(
+                code="ND503", severity="warning", analysis=ANALYSIS,
+                rule=name, pred=rule.head.pred, span=rule_span(rule),
+                message=(
+                    f"condition {format_term(cond.expr)} is statically "
+                    f"false; the rule body can never be satisfied"
+                ),
+            ))
+        blocked = sorted({
+            lit.pred for lit in rule.body_literals
+            if not lit.negated and lit.pred not in derivable
+        })
+        if blocked and rule.head.pred in derivable:
+            # Head reachable through some *other* rule; this one is dead.
+            dead_rules.append(name)
+        if blocked:
+            diagnostics.append(Diagnostic(
+                code="ND502", severity="warning", analysis=ANALYSIS,
+                rule=name, pred=rule.head.pred, span=rule_span(rule),
+                message=(
+                    f"dead rule: body reads underivable relation(s) "
+                    f"{', '.join(repr(p) for p in blocked)} -- the rule "
+                    f"never contributes a tuple"
+                ),
+                hint="derive or load the missing relation(s), or drop "
+                     "the rule",
+            ))
+            if rule.head.pred not in derivable:
+                dead_rules.append(name)
+
+    read = {lit.pred for rule in rules for lit in rule.body_literals}
+    query_pred = program.query.pred if program.query is not None else None
+    unused = sorted(
+        pred for pred in derived
+        if pred not in read and pred != query_pred
+    )
+    for pred in unused:
+        diagnostics.append(Diagnostic(
+            code="ND504", severity="info", analysis=ANALYSIS, pred=pred,
+            message=(
+                f"derived relation {pred!r} is never read by any rule "
+                f"body and is not the query -- its tuples are computed "
+                f"and dropped"
+            ),
+        ))
+
+    summary = {
+        "derivable": sorted(derivable),
+        "underivable": dead_relations,
+        "dead_rules": sorted(set(dead_rules)),
+        "unused_relations": unused,
+    }
+    return diagnostics, summary

@@ -1,0 +1,110 @@
+"""Analysis 3: monotonicity and deletion-soundness per stratum (ND3xx).
+
+Classifies every rule as monotone (plain positive Datalog: inserting
+body tuples can only insert head tuples) or non-monotone (head
+aggregate, arg-extreme view, or negated literal), rolls the
+classification up per stratum, and reports what each relation's shape
+means for incremental maintenance:
+
+* monotone relations are safe under PSN's delete/re-derive discipline
+  as-is;
+* aggregate and arg-extreme views are maintained by the engine's
+  incremental group machinery (safe, but a deletion can *raise* a min,
+  so downstream consumers see retract/assert pairs);
+* a non-monotone rule inside a *recursive* stratum is the shape the
+  set-oriented engines refuse outright -- :func:`repro.engine.stratify
+  .stratify` raises a ``PlanError`` at run time; **ND301** (info)
+  surfaces it at lint time instead, naming the engines that can run
+  the plan.
+
+**ND302** (info) records each non-monotone relation's deletion story.
+Nothing here is a warning: these are engine-selection facts, not
+program bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.common import rule_name, rule_span
+from repro.analysis.diagnostics import Diagnostic
+from repro.engine.stratify import strata
+from repro.ndlog.ast import Program, Rule
+
+ANALYSIS = "monotonicity"
+
+
+def rule_is_monotone(rule: Rule) -> bool:
+    """Plain positive rule: no aggregate, no arg-extreme annotation, no
+    negated body literal."""
+    if rule.head_aggregate() is not None or rule.argmin is not None:
+        return False
+    return not any(lit.negated for lit in rule.body_literals)
+
+
+def _nonmonotone_kind(rule: Rule) -> str:
+    if rule.argmin is not None:
+        return "arg-extreme view"
+    if rule.head_aggregate() is not None:
+        aggregate = rule.head_aggregate()[1]
+        return f"{aggregate.func}<> aggregate view"
+    return "negated rule"
+
+
+def analyze(program: Program):
+    """Classify strata; returns ``(diagnostics, summary)``."""
+    diagnostics: List[Diagnostic] = []
+    stratum_rows: List[Dict[str, object]] = []
+    relation_story: Dict[str, str] = {}
+
+    for index, stratum in enumerate(strata(program)):
+        nonmonotone = [r for r in stratum.rules if not rule_is_monotone(r)]
+        monotone = not nonmonotone
+        stratum_rows.append({
+            "index": index,
+            "preds": sorted(stratum.preds),
+            "recursive": stratum.recursive,
+            "monotone": monotone,
+        })
+        for pred in stratum.preds:
+            if monotone:
+                relation_story[pred] = "psn-delete-rederive"
+        for rule in nonmonotone:
+            kind = _nonmonotone_kind(rule)
+            keyed = rule.head.pred in program.materializations and \
+                program.materializations[rule.head.pred].keys
+            story = ("keyed group replace"
+                     if (rule.argmin is not None or keyed)
+                     else "incremental group maintenance")
+            relation_story[rule.head.pred] = story
+            diagnostics.append(Diagnostic(
+                code="ND302", severity="info", analysis=ANALYSIS,
+                rule=rule_name(rule), pred=rule.head.pred,
+                span=rule_span(rule),
+                message=(
+                    f"{rule.head.pred!r} is non-monotone ({kind}); "
+                    f"deletions maintain it by {story}, and downstream "
+                    f"consumers see retract/assert pairs when the group "
+                    f"optimum changes"
+                ),
+            ))
+            if stratum.recursive:
+                diagnostics.append(Diagnostic(
+                    code="ND301", severity="info", analysis=ANALYSIS,
+                    rule=rule_name(rule), pred=rule.head.pred,
+                    span=rule_span(rule),
+                    message=(
+                        f"{kind} {rule_name(rule)} sits inside recursive "
+                        f"stratum {sorted(stratum.preds)}; the set-oriented "
+                        f"engines ('naive', 'seminaive') cannot evaluate "
+                        f"it -- deploy on 'psn' or 'bsn'"
+                    ),
+                    hint=("stratify() raises PlanError for this shape at "
+                          "run time; pick a pipelined engine up front"),
+                ))
+
+    summary = {
+        "strata": stratum_rows,
+        "deletion_soundness": dict(sorted(relation_story.items())),
+    }
+    return diagnostics, summary

@@ -1,0 +1,86 @@
+"""The ndlint driver: run the analyses over a program and collect a
+:class:`~repro.analysis.diagnostics.AnalysisReport`.
+
+The driver accepts a :class:`~repro.ndlog.ast.Program`, a compiled
+artifact (anything with a ``.program`` attribute, e.g.
+:class:`repro.api.CompiledProgram`), or NDlog source text.  Individual
+analyses are registered in :data:`ANALYSES`; a crash inside one is
+caught and converted to an **ND001** error diagnostic -- the analyzer
+itself must never take the compiler down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import comm, deadcode, monotonic, termination, typeinfer
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.ndlog.ast import Program
+
+#: Registered analyses, in run order.  Each entry maps the analysis
+#: name to a callable ``analyze(program) -> (diagnostics, summary)``.
+ANALYSES: Dict[str, Callable] = {
+    typeinfer.ANALYSIS: typeinfer.analyze,
+    termination.ANALYSIS: termination.analyze,
+    monotonic.ANALYSIS: monotonic.analyze,
+    comm.ANALYSIS: comm.analyze,
+    deadcode.ANALYSIS: deadcode.analyze,
+}
+
+
+def _as_program(target) -> Program:
+    """Accept a Program, a compiled artifact, or NDlog source text."""
+    program = getattr(target, "program", target)
+    if isinstance(program, Program):
+        return program
+    if isinstance(target, str):
+        from repro.ndlog.parser import parse
+
+        return parse(target)
+    raise TypeError(
+        f"cannot analyze {type(target).__name__}: expected a Program, "
+        f"a compiled artifact with a .program, or NDlog source text"
+    )
+
+
+def analyze(target, passes: Optional[Sequence[str]] = None,
+            name: str = "") -> AnalysisReport:
+    """Run the registered analyses over ``target``.
+
+    ``passes`` selects a subset by analysis name (default: all, in
+    registration order); unknown names raise ``ValueError`` so typos in
+    a CLI invocation fail loudly rather than silently skipping checks.
+    """
+    program = _as_program(target)
+    selected: List[Tuple[str, Callable]]
+    if passes is None:
+        selected = list(ANALYSES.items())
+    else:
+        unknown = [p for p in passes if p not in ANALYSES]
+        if unknown:
+            raise ValueError(
+                f"unknown analysis pass(es) {unknown}; "
+                f"available: {', '.join(ANALYSES)}"
+            )
+        selected = [(p, ANALYSES[p]) for p in passes]
+
+    report = AnalysisReport(
+        program_name=name or (program.name or ""),
+    )
+    for analysis_name, run in selected:
+        report.analyses.append(analysis_name)
+        try:
+            diagnostics, summary = run(program)
+        except Exception as exc:  # pragma: no cover - analyzer bug guard
+            report.extend([Diagnostic(
+                code="ND001", severity="error", analysis=analysis_name,
+                message=(
+                    f"internal: the {analysis_name!r} analysis crashed "
+                    f"({type(exc).__name__}: {exc}); please report this "
+                    f"-- the program itself may still be fine"
+                ),
+            )])
+            continue
+        report.extend(diagnostics)
+        report.summaries[analysis_name] = summary
+    return report.finish()

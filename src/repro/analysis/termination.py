@@ -1,0 +1,269 @@
+"""Analysis 2: termination / divergence detection (ND2xx).
+
+The count-to-infinity shape: a rule inside a recursive component whose
+head *grows* a value through a function symbol -- path concatenation
+(``f_concatPath`` / ``f_append`` / ``f_prepend``) or arithmetic
+(``C := C1 + C2``) fed by a variable bound from an in-component body
+literal -- derives an infinite ascending chain unless something bounds
+the recursion.  Three bounds are recognized, matching the ways the
+paper's own programs terminate:
+
+* a **comparison against a constant** on a variable in the growth
+  chain (``C < 16``, the RIP-style hop bound of the distance-vector
+  program);
+* a **cycle guard**: an ``f_member`` test over a path in the growth
+  chain (``f_member(P2, S) == 0`` -- simple paths over a finite node
+  set are finite);
+* **aggregate-selection pruning**: every in-component literal the rule
+  reads is a group-optimal view (an ``argmin``-annotated or monotonic
+  min/max aggregate rule), the Section 5.1.1 device that makes the
+  Figure 1 program terminate on cyclic graphs.
+
+Growth with no bound is **ND201** (warning).  Bounded growth is
+reported as **ND202** (info) naming the bound, so a reader can see the
+analysis engaged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.common import (
+    assignments_of,
+    rule_name,
+    rule_span,
+    rules_defining,
+    source_variables,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.engine.stratify import dependency_graph, tarjan_sccs
+from repro.ndlog.ast import Condition, Program, Rule
+from repro.ndlog.pretty import format_term
+from repro.ndlog.terms import BinOp, FuncCall, Term
+
+ANALYSIS = "termination"
+
+#: Function symbols that enlarge a constructed value.
+GROWTH_FUNCS = frozenset(("f_concatPath", "f_append", "f_prepend"))
+#: Arithmetic operators that can drive a value monotonically upward
+#: (division and modulo cannot build an unbounded ascending chain from
+#: bounded inputs the way repeated addition along a cycle can).
+GROWTH_OPS = frozenset(("+", "-", "*"))
+#: Guard functions whose presence bounds recursion depth (membership
+#: tests over the grown path keep paths simple, hence finite).
+GUARD_FUNCS = frozenset(("f_member",))
+_BOUND_OPS = frozenset(("<", "<=", ">", ">="))
+
+
+def _recursive_components(rules) -> List[Set[str]]:
+    graph = dependency_graph(rules)
+    out = []
+    for component in tarjan_sccs(graph):
+        if len(component) > 1:
+            out.append(set(component))
+        else:
+            pred = component[0]
+            if pred in graph.get(pred, ()):
+                out.append({pred})
+    return out
+
+
+def _growth_symbols(expr: Term) -> List[str]:
+    """The growth-capable function symbols / operators in ``expr``."""
+    out: List[str] = []
+    stack = [expr]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, FuncCall):
+            if term.name in GROWTH_FUNCS:
+                out.append(term.name)
+            stack.extend(term.args)
+        elif isinstance(term, BinOp):
+            if term.op in GROWTH_OPS:
+                out.append(f"'{term.op}'")
+            stack.extend((term.left, term.right))
+        else:
+            for attr in ("args", "operand"):
+                child = getattr(term, attr, None)
+                if isinstance(child, tuple):
+                    stack.extend(child)
+                elif isinstance(child, Term):
+                    stack.append(child)
+    return out
+
+
+def _guard_calls(expr: Term) -> List[FuncCall]:
+    out: List[FuncCall] = []
+    stack = [expr]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, FuncCall) and term.name in GUARD_FUNCS:
+            out.append(term)
+        for attr in ("args", "left", "right", "operand"):
+            child = getattr(term, attr, None)
+            if isinstance(child, tuple):
+                stack.extend(child)
+            elif isinstance(child, Term):
+                stack.append(child)
+    return out
+
+
+def _pruned_view(program: Program, pred: str) -> bool:
+    """True when every rule deriving ``pred`` is a group-optimal view
+    (argmin annotation or monotonic min/max head aggregate)."""
+    defining = rules_defining(program, pred)
+    if not defining:
+        return False
+    for rule in defining:
+        if rule.argmin is not None:
+            continue
+        aggregate = rule.head_aggregate()
+        if aggregate is not None and aggregate[1].func in ("min", "max"):
+            continue
+        return False
+    return True
+
+
+def _rule_growth(rule: Rule, component: Set[str]):
+    """Detect value growth in ``rule`` relative to ``component``.
+
+    Returns ``(growing, chain_vars)`` where ``growing`` maps head
+    positions to the growth symbols involved and ``chain_vars`` is the
+    set of variables participating in any growth chain (for bound
+    matching).
+    """
+    assigned = assignments_of(rule)
+    recursive_vars: Set[str] = set()
+    for literal in rule.body_literals:
+        if literal.pred in component:
+            recursive_vars |= literal.variables()
+
+    growing: Dict[int, List[str]] = {}
+    chain_vars: Set[str] = set()
+    for position, arg in enumerate(rule.head.args):
+        # Growth written directly in the head argument expression.
+        direct = _growth_symbols(arg)
+        if direct:
+            sources: Set[str] = set()
+            for name in arg.variables():
+                sources |= source_variables(name, assigned)
+            if sources & recursive_vars:
+                growing.setdefault(position, []).extend(direct)
+                chain_vars |= sources
+        # Growth routed through body assignments (the common shape).
+        for name in arg.variables():
+            expr = assigned.get(name)
+            if expr is None:
+                continue
+            symbols = _growth_symbols(expr)
+            if not symbols:
+                continue
+            sources = source_variables(name, assigned)
+            if sources & recursive_vars:
+                growing.setdefault(position, []).extend(symbols)
+                chain_vars |= sources | {name}
+    return growing, chain_vars, recursive_vars
+
+
+def _find_bound(rule: Rule, program: Program, component: Set[str],
+                chain_vars: Set[str],
+                recursive_vars: Set[str]) -> Optional[str]:
+    """The reason this rule's recursion is bounded, or ``None``."""
+    assigned = assignments_of(rule)
+    watched = chain_vars | recursive_vars
+
+    for item in rule.body:
+        if not isinstance(item, Condition):
+            continue
+        expr = item.expr
+        # Cycle guard: membership test over a watched variable.
+        for call in _guard_calls(expr):
+            call_sources: Set[str] = set()
+            for name in call.variables():
+                call_sources |= source_variables(name, assigned)
+            if call_sources & watched:
+                return f"cycle guard {call.name}(...) in the body"
+        # Constant comparison against a watched variable.
+        if isinstance(expr, BinOp) and expr.op in _BOUND_OPS:
+            sides = (expr.left, expr.right)
+            for this, other in (sides, sides[::-1]):
+                if other.variables():
+                    continue
+                this_sources: Set[str] = set()
+                for name in this.variables():
+                    this_sources |= source_variables(name, assigned)
+                if this_sources & watched:
+                    return f"bounding condition {format_term(expr)}"
+
+    in_component = [lit for lit in rule.body_literals
+                    if lit.pred in component]
+    if in_component and all(
+        _pruned_view(program, lit.pred) for lit in in_component
+    ):
+        preds = ", ".join(sorted({lit.pred for lit in in_component}))
+        return f"aggregate-selection pruned view(s) {preds}"
+    return None
+
+
+def analyze(program: Program):
+    """Run divergence detection; returns ``(diagnostics, summary)``."""
+    diagnostics: List[Diagnostic] = []
+    rules = [rule for rule in program.rules if rule.body]
+    components = _recursive_components(rules)
+    component_of: Dict[str, Set[str]] = {}
+    for component in components:
+        for pred in component:
+            component_of[pred] = component
+
+    flagged: List[str] = []
+    bounded: List[Tuple[str, str]] = []
+    for rule in rules:
+        component = component_of.get(rule.head.pred)
+        if component is None:
+            continue
+        if not any(lit.pred in component for lit in rule.body_literals):
+            continue
+        growing, chain_vars, recursive_vars = _rule_growth(rule, component)
+        if not growing:
+            continue
+        name = rule_name(rule)
+        symbols = sorted({s for syms in growing.values() for s in syms})
+        columns = ", ".join(str(p + 1) for p in sorted(growing))
+        bound = _find_bound(rule, program, component, chain_vars,
+                            recursive_vars)
+        if bound is not None:
+            bounded.append((name, bound))
+            diagnostics.append(Diagnostic(
+                code="ND202", severity="info", analysis=ANALYSIS,
+                rule=name, pred=rule.head.pred, span=rule_span(rule),
+                message=(
+                    f"recursive growth of column(s) {columns} of "
+                    f"{rule.head.pred!r} via {', '.join(symbols)} is "
+                    f"bounded by {bound}"
+                ),
+            ))
+            continue
+        flagged.append(name)
+        diagnostics.append(Diagnostic(
+            code="ND201", severity="warning", analysis=ANALYSIS,
+            rule=name, pred=rule.head.pred, span=rule_span(rule),
+            message=(
+                f"recursive rule grows column(s) {columns} of "
+                f"{rule.head.pred!r} through {', '.join(symbols)} with no "
+                f"bounding condition -- evaluation may diverge "
+                f"(count-to-infinity shape)"
+            ),
+            hint=(
+                "bound the generated column (e.g. C < 16), add a cycle "
+                "guard (f_member(P, S) == 0), or compute a monotonic "
+                "min/max over the relation so aggregate selections can "
+                "prune the recursion"
+            ),
+        ))
+
+    summary = {
+        "recursive_components": [sorted(c) for c in components],
+        "divergent_rules": flagged,
+        "bounded_rules": bounded,
+    }
+    return diagnostics, summary

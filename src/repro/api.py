@@ -69,10 +69,12 @@ from repro.errors import (
     NetworkError,
     PlanError,
     ReproError,
+    StaticAnalysisError,
 )
 from repro.ndlog.ast import Literal, Program
 from repro.ndlog.parser import parse
 from repro.ndlog.pretty import (
+    format_diagnostic,
     format_literal,
     format_materialization,
     format_program,
@@ -459,6 +461,7 @@ class CompiledProgram:
         report: Optional[ValidationReport] = None,
         registry: Optional[PassRegistry] = None,
         provenance: bool = False,
+        lint: str = "warn",
     ):
         self.source = source
         self.program = program
@@ -468,6 +471,9 @@ class CompiledProgram:
         #: Capture rule-level derivation provenance when this artifact
         #: runs or deploys (``compile(..., provenance=True)``).
         self.provenance = provenance
+        #: ndlint mode: ``"off"`` / ``"warn"`` / ``"error"``.
+        self.lint = lint
+        self._analysis_report = None
 
     # -- introspection --------------------------------------------------
     @property
@@ -497,6 +503,21 @@ class CompiledProgram:
             if snap.name == name:
                 result = snap.after
         return result
+
+    @property
+    def diagnostics(self):
+        """The ndlint :class:`~repro.analysis.AnalysisReport` for the
+        rewritten program, or ``None`` when compiled with
+        ``lint="off"``.  Computed lazily on first access and cached, so
+        ``lint="warn"`` (the default) costs nothing until someone looks.
+        """
+        if self.lint == "off":
+            return None
+        if self._analysis_report is None:
+            from repro.analysis import analyze
+
+            self._analysis_report = analyze(self.program, name=self.name)
+        return self._analysis_report
 
     def __repr__(self) -> str:
         passes = ", ".join(self.applied_passes) or "none"
@@ -539,6 +560,13 @@ class CompiledProgram:
                 lines.append(f"  + {text}")
         lines.append("-- rewritten program --")
         lines.append(format_program(self.program).rstrip())
+        analysis = self.diagnostics
+        if analysis is not None:
+            lines.append("-- diagnostics --")
+            if not analysis.diagnostics:
+                lines.append("ndlint: clean (no findings)")
+            for diag in analysis:
+                lines.append(format_diagnostic(diag))
         if join_plans:
             lines.append("-- join plans --")
             stats = StatsCatalog()
@@ -582,6 +610,7 @@ class CompiledProgram:
             report=self.report,
             registry=registry,
             provenance=self.provenance,
+            lint=self.lint,
         )
 
     def localized(self) -> "CompiledProgram":
@@ -734,6 +763,7 @@ def compile(
     name: Optional[str] = None,
     registry: Optional[PassRegistry] = None,
     provenance: Optional[bool] = None,
+    lint: Optional[str] = None,
 ) -> CompiledProgram:
     """Compile NDlog source (or a parsed :class:`Program`) into a
     :class:`CompiledProgram`.
@@ -760,6 +790,13 @@ def compile(
     produces a *derived* artifact with the flag set (the input artifact
     is never mutated).
 
+    ``lint`` selects the ndlint mode (see :mod:`repro.analysis`):
+    ``"warn"`` (the default) attaches a lazily computed diagnostic
+    report to the artifact (``.diagnostics``, also rendered by
+    :meth:`CompiledProgram.explain`); ``"error"`` runs the analyses
+    eagerly and raises :class:`StaticAnalysisError` on any finding at
+    warning severity or above; ``"off"`` disables analysis.
+
     A :class:`CompiledProgram` input composes instead of restarting:
     explicit ``passes`` are appended to its existing trace (see
     :meth:`CompiledProgram.extended`, honouring ``registry``) and
@@ -777,13 +814,19 @@ def compile(
         # input is never mutated.
         artifact = source_or_program
         same_provenance = provenance is None or provenance == artifact.provenance
-        if passes is None and registry is None and same_provenance:
+        same_lint = lint is None or lint == artifact.lint
+        if passes is None and registry is None and same_provenance \
+                and same_lint:
             return artifact
         derived = artifact.extended(passes or [], registry=registry)
         if not same_provenance:
             derived.provenance = provenance
+        if not same_lint:
+            derived.lint = _check_lint_mode(lint)
+        _enforce_lint(derived)
         return derived
     registry = registry or DEFAULT_REGISTRY
+    lint = _check_lint_mode("warn" if lint is None else lint)
     if isinstance(source_or_program, Program):
         program = source_or_program
     elif isinstance(source_or_program, str):
@@ -818,13 +861,54 @@ def compile(
         current = _apply_pass(pass_, before, options)
         trace.append(PassSnapshot(pass_.name, dict(options), before, current))
 
-    return CompiledProgram(
+    artifact = CompiledProgram(
         source=program,
         program=current,
         trace=tuple(trace),
         report=report,
         registry=registry,
         provenance=bool(provenance),
+        lint=lint,
+    )
+    _enforce_lint(artifact)
+    return artifact
+
+
+_LINT_MODES = ("off", "warn", "error")
+
+
+def _check_lint_mode(lint: str) -> str:
+    if lint not in _LINT_MODES:
+        raise PlanError(
+            f"unknown lint mode {lint!r}; pick from {_LINT_MODES}"
+        )
+    return lint
+
+
+def _enforce_lint(artifact: CompiledProgram) -> None:
+    """``lint="error"``: run the analyses eagerly and refuse to hand
+    back an artifact with warning-or-worse findings."""
+    if artifact.lint != "error":
+        return
+    analysis = artifact.diagnostics
+    offending = analysis.at_least("warning")
+    if not offending:
+        return
+    quoted = "; ".join(
+        f"{d.code} {d.message}" for d in offending[:3]
+    )
+    more = len(offending) - 3
+    if more > 0:
+        quoted += f" (+{more} more)"
+    # Name the program the caller handed in, not the pass-renamed
+    # rewrite ("aggsel" for an anonymous source).
+    name = artifact.source.name or "<anonymous>"
+    raise StaticAnalysisError(
+        f"program {name!r} failed static analysis with "
+        f"{len(offending)} finding(s) at warning severity or above: "
+        f"{quoted} (compile with lint=\"warn\" to inspect the full "
+        f"report on .diagnostics)",
+        report=analysis,
     )
 
 

@@ -21,7 +21,6 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.errors import SchemaError
 from repro.ndlog.ast import Program
 from repro.ndlog.functions import default_functions
-from repro.ndlog.terms import AggregateSpec
 from repro.engine.table import INFINITY, Table
 
 

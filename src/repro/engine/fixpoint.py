@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
 
 from repro.engine.database import Database
 from repro.errors import PlanError
 from repro.ndlog.ast import Program
-from repro.ndlog.terms import Constant, evaluate
+from repro.ndlog.terms import evaluate
 
 
 @dataclass

@@ -23,7 +23,7 @@ plan joins them in).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import EvaluationError
 from repro.engine.aggregates import AggregateView

@@ -17,7 +17,9 @@ from repro.errors import PlanError
 from repro.ndlog.ast import Program, Rule
 
 
-def _dependency_graph(rules: Sequence[Rule]) -> Dict[str, Set[str]]:
+def dependency_graph(rules: Sequence[Rule]) -> Dict[str, Set[str]]:
+    """Predicate dependency graph: head -> the predicates its bodies
+    read.  Also used by the static analyses (:mod:`repro.analysis`)."""
     graph: Dict[str, Set[str]] = {}
     for rule in rules:
         deps = graph.setdefault(rule.head.pred, set())
@@ -27,7 +29,7 @@ def _dependency_graph(rules: Sequence[Rule]) -> Dict[str, Set[str]]:
     return graph
 
 
-def _tarjan_sccs(graph: Dict[str, Set[str]]) -> List[List[str]]:
+def tarjan_sccs(graph: Dict[str, Set[str]]) -> List[List[str]]:
     """Tarjan's algorithm, iterative; SCCs in reverse topological order."""
     index_counter = [0]
     indexes: Dict[str, int] = {}
@@ -90,18 +92,16 @@ class Stratum:
         return f"Stratum({sorted(self.preds)}, {kind}, {len(self.rules)} rules)"
 
 
-def stratify(program: Program) -> List[Stratum]:
-    """Split ``program`` into strata in evaluation order.
-
-    Raises :class:`PlanError` if an aggregate rule's head participates in
-    recursion with its own body (unsupported by the set-oriented
-    engines).
-    """
+def strata(program: Program) -> List[Stratum]:
+    """Split ``program`` into strata in evaluation order, without
+    judging whether any engine can run them.  The static analyses
+    (:mod:`repro.analysis`) use this to *report* engine restrictions
+    that :func:`stratify` turns into hard errors."""
     rules = [rule for rule in program.rules if rule.body]
-    graph = _dependency_graph(rules)
-    sccs = _tarjan_sccs(graph)  # reverse topological = dependency-first
+    graph = dependency_graph(rules)
+    sccs = tarjan_sccs(graph)  # reverse topological = dependency-first
 
-    strata: List[Stratum] = []
+    out: List[Stratum] = []
     for component in sccs:
         preds = frozenset(component)
         member_rules = [r for r in rules if r.head.pred in preds]
@@ -111,9 +111,39 @@ def stratify(program: Program) -> List[Stratum]:
             r.head.pred in set(lit.pred for lit in r.body_literals)
             for r in member_rules
         )
-        for rule in member_rules:
-            if recursive and (rule.head_aggregate() is not None
-                              or rule.argmin is not None):
+        out.append(Stratum(preds=preds, rules=member_rules,
+                           recursive=recursive))
+    return out
+
+
+def recursive_nonmonotone_rules(program: Program) -> List[Tuple[Stratum, Rule]]:
+    """The ``(stratum, rule)`` pairs where an aggregate or arg-extreme
+    rule sits inside a recursive stratum -- the shape the set-oriented
+    engines cannot evaluate."""
+    out: List[Tuple[Stratum, Rule]] = []
+    for stratum in strata(program):
+        if not stratum.recursive:
+            continue
+        for rule in stratum.rules:
+            if rule.head_aggregate() is not None or rule.argmin is not None:
+                out.append((stratum, rule))
+    return out
+
+
+def stratify(program: Program) -> List[Stratum]:
+    """Split ``program`` into strata in evaluation order.
+
+    Raises :class:`PlanError` if an aggregate rule's head participates in
+    recursion with its own body (unsupported by the set-oriented
+    engines).
+    """
+    result = strata(program)
+    for stratum in result:
+        if not stratum.recursive:
+            continue
+        for rule in stratum.rules:
+            if (rule.head_aggregate() is not None
+                    or rule.argmin is not None):
                 kind = ("arg-extreme view" if rule.argmin is not None
                         else "aggregate rule")
                 raise PlanError(
@@ -123,5 +153,4 @@ def stratify(program: Program) -> List[Stratum]:
                     f"use the pipelined engines ('psn' or 'bsn'), which "
                     f"maintain monotonic aggregates incrementally"
                 )
-        strata.append(Stratum(preds=preds, rules=member_rules, recursive=recursive))
-    return strata
+    return result

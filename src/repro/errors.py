@@ -88,3 +88,17 @@ class PlanError(ReproError):
 class NetworkError(ReproError):
     """Raised by the network simulator on misuse (sending along a
     non-existent link, malformed messages)."""
+
+
+class StaticAnalysisError(ReproError):
+    """Raised by ``compile(..., lint="error")`` when the ndlint
+    analyses find diagnostics at warning severity or above.
+
+    ``report`` carries the full
+    :class:`~repro.analysis.diagnostics.AnalysisReport` so callers can
+    inspect every finding, not just the ones quoted in the message.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)

@@ -19,7 +19,7 @@ less effectively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.experiments.common import (
     METRIC_LABELS,

@@ -12,8 +12,8 @@ within a window are advertised once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments import fig7_8
 from repro.experiments.common import (

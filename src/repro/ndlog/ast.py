@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import SchemaError
 from repro.ndlog.terms import (
@@ -97,7 +97,7 @@ class Condition:
         return repr(self.expr)
 
 
-BodyItem = object  # Literal | Assignment | Condition
+BodyItem = Union[Literal, Assignment, Condition]
 
 
 @dataclass(frozen=True)

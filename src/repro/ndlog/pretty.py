@@ -204,3 +204,41 @@ def format_why_not(report, indent: str = "") -> str:
             if failure.nested is not None:
                 lines.append(format_why_not(failure.nested, indent + "    "))
     return "\n".join(lines)
+
+
+def format_diagnostic(diag, verbose: bool = False) -> str:
+    """One ndlint finding, gcc-style::
+
+        warning ND201 [termination] rule SP2: recursive rule grows ...
+    """
+    anchor = f" rule {diag.rule}" if diag.rule else (
+        f" relation {diag.pred}" if diag.pred else "")
+    lines = [f"{diag.severity} {diag.code} [{diag.analysis}]"
+             f"{anchor}: {diag.message}"]
+    if verbose and diag.span:
+        lines.append(f"    | {diag.span}")
+    if diag.hint:
+        lines.append(f"    = hint: {diag.hint}")
+    return "\n".join(lines)
+
+
+def format_analysis_report(report, verbose: bool = False) -> str:
+    """A full ndlint report: header, findings (most severe first), and
+    the per-severity tally."""
+    title = report.program_name or "<program>"
+    lines = [f"ndlint report for {title}",
+             f"  analyses: {', '.join(report.analyses)}"]
+    if not report.diagnostics:
+        lines.append("  clean: no findings")
+        return "\n".join(lines)
+    lines.append("")
+    for diag in report.diagnostics:
+        for line in format_diagnostic(diag, verbose=verbose).splitlines():
+            lines.append(f"  {line}")
+    counts = report.counts()
+    tally = ", ".join(f"{counts[name]} {name}"
+                      for name in ("error", "warning", "info")
+                      if counts.get(name))
+    lines.append("")
+    lines.append(f"  {len(report.diagnostics)} finding(s): {tally}")
+    return "\n".join(lines)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from repro.errors import NDlogValidationError
-from repro.ndlog.ast import Assignment, Condition, Literal, Program, Rule
+from repro.ndlog.ast import Assignment, Condition, Program, Rule
 from repro.ndlog.terms import AggregateSpec, Constant, Term, Variable
 
 
@@ -111,15 +111,23 @@ def _address_usage(rule: Rule) -> Dict[str, Set[bool]]:
     return usage
 
 
-def validate(program: Program, strict_address_types: bool = True,
+def validate(program: Program, strict_address_types: bool = False,
              distributed: bool = True) -> ValidationReport:
     """Validate ``program`` and return a :class:`ValidationReport`.
 
-    With ``strict_address_types=False`` the address-type-safety check is
-    downgraded: a variable may appear both with and without ``@`` as long
-    as the ``@``-form appears in a location position (the paper's own
-    examples write ``f_concatPath(link(@S,@D,C), nil)``, reusing address
-    variables inside function arguments).
+    ``strict_address_types`` defaults to ``False`` here and in
+    :func:`check` (the two entry points used to disagree; off is the
+    one the paper's program style needs): a variable may appear both
+    with and without ``@`` as long as the ``@``-form appears in a
+    location position (the paper's own examples write
+    ``f_concatPath(link(@S,@D,C), nil)``, reusing address variables
+    inside function arguments).  Per-occurrence strict checking is the
+    job of the ndlint ``types`` analysis (:mod:`repro.analysis`),
+    which unifies column types across *all* rules and reports genuine
+    address/value conflicts as ND101 errors -- a sharper check than
+    this rule-local flag ever was.  ``strict_address_types=True``
+    restores the old behaviour: any mixed use inside one rule is an
+    error.
 
     With ``distributed=False`` the NDlog-specific constraints
     (Definitions 1-6: location specificity, address type safety,
@@ -229,8 +237,10 @@ def check(program: Program, strict_address_types: bool = False) -> Program:
     """Validate and return ``program``; raise on any error.
 
     This is the entry point used by the compiler pipeline.  Address-type
-    strictness defaults to off, matching the paper's own program style
-    (see :func:`validate`).
+    strictness defaults to off, matching both :func:`validate` and the
+    paper's own program style; cross-rule address/value conflicts are
+    caught by the ndlint ``types`` analysis instead (see
+    :func:`validate`).
     """
     report = validate(program, strict_address_types=strict_address_types)
     if not report.ok:

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.ndlog.ast import Literal, Materialization, Program, Rule
-from repro.ndlog.terms import AggregateSpec, Constant, Term, Variable
+from repro.ndlog.terms import AggregateSpec, Variable
 
 MONOTONIC_FUNCS = ("min", "max")
 

@@ -32,10 +32,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.topology.neighborhood import (
-    hop_distances,
     neighborhood_function,
     optimal_split,
     search_costs,

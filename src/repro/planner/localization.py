@@ -24,8 +24,7 @@ away (see :func:`is_canonical`).
 from __future__ import annotations
 
 import itertools
-from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.errors import PlanError
 from repro.ndlog.ast import (
@@ -35,7 +34,7 @@ from repro.ndlog.ast import (
     Program,
     Rule,
 )
-from repro.ndlog.terms import AggregateSpec, Constant, Term, Variable
+from repro.ndlog.terms import Constant, Term, Variable
 from repro.ndlog.validator import is_link_restricted, is_local_rule
 
 

@@ -23,12 +23,11 @@ distributed experiments execute, exactly as in Section 6.3.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import PlanError
-from repro.ndlog.ast import Assignment, Condition, Literal, Program, Rule
-from repro.ndlog.terms import AggregateSpec, Constant, Term, Variable
+from repro.ndlog.ast import Assignment, Literal, Program, Rule
+from repro.ndlog.terms import Constant, Term, Variable
 
 
 def adornment_of(literal: Literal, bound_vars: Set[str]) -> str:

@@ -16,7 +16,7 @@ position read the ``_old`` relation, the delta position reads the
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Set
 
 from repro.ndlog.ast import Literal, Program, Rule
 

@@ -18,7 +18,7 @@ re-applied; the artifact's pass pipeline wins over config flags).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.facts import Fact
 from repro.errors import NetworkError, PlanError, SchemaError

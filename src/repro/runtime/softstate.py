@@ -14,8 +14,7 @@ loss or reordering -- the trade-off discussed at the end of Section 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.engine.facts import Fact
 from repro.engine.table import INFINITY

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.net.message import (
     DELTA_HEADER_BYTES,
@@ -19,7 +19,7 @@ from repro.net.message import (
     NetDelta,
     value_size,
 )
-from repro.runtime.config import RuntimeConfig, ShareSpec
+from repro.runtime.config import RuntimeConfig
 
 #: Buffered flush timers carry +-10% deterministic jitter so that
 #: buffers armed in the same instant do not flush in lockstep (which

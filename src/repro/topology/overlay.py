@@ -15,8 +15,8 @@ as in P2, where the neighbor sets are unioned.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.errors import NetworkError
 from repro.topology.transit_stub import Underlay, transit_stub

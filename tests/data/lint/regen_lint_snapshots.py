@@ -1,0 +1,39 @@
+"""Regenerate the ndlint golden snapshots used by tests/test_analysis.py.
+
+One report per builtin program, over the program *as written* (no
+compile pipeline) -- so the snapshot for ``shortest_path`` documents
+the expected ND201 divergence warning that aggregate selections later
+remove, and every other shipped program documents its clean/info-only
+profile.
+
+Run:  PYTHONPATH=src python tests/data/lint/regen_lint_snapshots.py
+"""
+
+import pathlib
+
+from repro.analysis import analyze
+from repro.ndlog import programs
+from repro.ndlog.pretty import format_analysis_report
+
+BUILDERS = [
+    "shortest_path",
+    "shortest_path_safe",
+    "shortest_path_dynamic",
+    "distance_vector",
+    "magic_dst",
+    "magic_src_dst",
+    "multi_query_magic",
+    "reachability",
+    "transitive_closure",
+    "transitive_closure_nonlinear",
+    "same_generation",
+]
+
+target_dir = pathlib.Path(__file__).parent / "snapshots"
+target_dir.mkdir(exist_ok=True)
+for name in BUILDERS:
+    program = getattr(programs, name)()
+    report = analyze(program, name=name)
+    path = target_dir / f"{name}.txt"
+    path.write_text(format_analysis_report(report) + "\n")
+    print(f"wrote {path}")

@@ -12,7 +12,6 @@ from repro.engine import Database
 from repro.engine.psn import PSNEngine
 from repro.ndlog import parse
 from repro.ndlog.programs import (
-    shortest_path_dynamic,
     shortest_path_safe,
     transitive_closure,
     transitive_closure_nonlinear,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import NDlogSyntaxError
 from repro.ndlog import parse, parse_rule
-from repro.ndlog.ast import Assignment, Condition, Literal, Materialization
+from repro.ndlog.ast import Assignment, Condition, Materialization
 from repro.ndlog.terms import (
     AggregateSpec,
     BinOp,

@@ -12,7 +12,6 @@ from repro.runtime import (
     Cluster,
     LinkUpdateDriver,
     RuntimeConfig,
-    ShareSpec,
     SoftStateManager,
 )
 from repro.topology import build_overlay, transit_stub

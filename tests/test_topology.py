@@ -6,7 +6,6 @@ import pytest
 from repro.errors import NetworkError
 from repro.topology import (
     METRICS,
-    Overlay,
     build_overlay,
     hop_distance,
     hop_distances,

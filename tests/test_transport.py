@@ -1,7 +1,6 @@
 """Unit tests for the transport layer's buffering modes (net-change
 elimination and share grouping) against a stub cluster."""
 
-import pytest
 
 from repro.net.message import NetDelta
 from repro.net.sim import Simulator

@@ -47,12 +47,21 @@ explains absent tuples by failed-body analysis, and
 ``deployment.audit()`` cross-checks derivation counts against the
 graph (see :mod:`repro.provenance` and ``examples/why_routing.py``).
 
+Deployments can also be stress-tested: ``deploy(..., chaos=schedule,
+reliable=True)`` injects a seeded fault plan (drops, duplication,
+reordering, corruption, partitions, crashes, clock skew -- see
+:mod:`repro.chaos`) while the ack/retransmit transport restores the
+delivery guarantees the paper's theorems assume; a
+:class:`~repro.chaos.ChaosMonitor` checks the post-chaos fixpoint
+against a fault-free reference (``examples/chaos_routing.py``).
+
 See ``examples/`` for full walkthroughs on simulated topologies and
 ``examples/live_routing.py`` for the live asyncio/UDP target.
 """
 
 from repro import ndlog  # noqa: F401
 from repro.analysis import AnalysisReport, Diagnostic, analyze
+from repro.chaos import ChaosMonitor, ChaosSchedule  # noqa: F401
 from repro.api import (
     DEFAULT_REGISTRY,
     CompiledProgram,
@@ -85,6 +94,8 @@ __all__ = [
     "programs",
     "Cluster",
     "RuntimeConfig",
+    "ChaosSchedule",
+    "ChaosMonitor",
     "ProvenanceStore",
     "DerivationTree",
     "WhyNotReport",

@@ -42,6 +42,7 @@ internals.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -681,6 +682,8 @@ class CompiledProgram:
         target: str = "sim",
         channels: str = "inproc",
         host: str = "127.0.0.1",
+        chaos=None,
+        reliable: bool = False,
     ) -> "Deployment":
         """Stand up the program as a distributed declarative network.
 
@@ -702,6 +705,12 @@ class CompiledProgram:
         real UDP datagram sockets on ``host`` (``"udp"``).  Drive it
         with ``await start()`` / ``await quiescent()`` / ``await
         stop()``, or synchronously with ``converge()``.
+
+        ``chaos`` attaches a fault-injection plan
+        (:class:`repro.chaos.ChaosSchedule`) and ``reliable=True`` ships
+        deltas over the ack/retransmit transport -- both are shorthand
+        for the corresponding :class:`RuntimeConfig` fields and work on
+        every target.
         """
         from repro.runtime.cluster import Cluster
         from repro.runtime.config import RuntimeConfig
@@ -714,6 +723,14 @@ class CompiledProgram:
             )
         if link_loads is None:
             link_loads = {"link": metric}
+        if chaos is not None or reliable:
+            config = dataclasses.replace(
+                config if config is not None else RuntimeConfig(),
+                chaos=chaos if chaos is not None
+                else (config.chaos if config is not None else None),
+                reliable=reliable
+                or (config.reliable if config is not None else False),
+            )
         compiled = self.localized()
         if target == "live":
             from repro.runtime.live import LiveDeployment
@@ -1049,11 +1066,13 @@ class Deployment:
         provenance capture."""
         return self.cluster.why_not(pred, args, depth=depth)
 
-    def audit(self, strict: Optional[bool] = None):
+    def audit(self, strict: Optional[bool] = None,
+              exclude_nodes=()):
         """Cross-check every node's derivation counts against the
         provenance graph (see :func:`repro.provenance.audit_cluster`);
         call at quiescence."""
-        return self.cluster.audit(strict=strict)
+        return self.cluster.audit(strict=strict,
+                                  exclude_nodes=exclude_nodes)
 
     # -- surfaces -------------------------------------------------------
     @property

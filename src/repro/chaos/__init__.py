@@ -1,0 +1,34 @@
+"""Chaos harness: deterministic, seeded fault injection on the
+Clock/Channel seams.
+
+The paper's correctness results lean on delivery assumptions the
+runtime otherwise takes on faith -- Theorem 4 requires per-link FIFO
+ordering, and bursty-loss recovery is argued only for soft state
+(Section 4.2).  This package makes those assumptions *testable*: a
+serializable :class:`ChaosSchedule` describes timed faults (message
+drop / duplicate / reorder / corrupt, link partitions, node crashes and
+restarts, per-node clock skew); a :class:`ChaosController` injects them
+identically on the simulator and both live backends by wrapping the
+existing channel objects and per-node clocks; and a
+:class:`ChaosMonitor` checks the post-chaos fixpoint against a
+fault-free reference run plus the provenance auditor.
+
+Pair a schedule with ``reliable=True`` (the ack/retransmit transport in
+:mod:`repro.net.reliable`) to restore the FIFO + exactly-once delivery
+the theorems assume; run the same schedule without it to watch the
+protocol lose facts.
+"""
+
+from repro.chaos.inject import ChaosChannel, ChaosController, SkewedClock
+from repro.chaos.monitor import ChaosMonitor, ChaosVerdict
+from repro.chaos.schedule import Fault, ChaosSchedule
+
+__all__ = [
+    "ChaosSchedule",
+    "Fault",
+    "ChaosController",
+    "ChaosChannel",
+    "SkewedClock",
+    "ChaosMonitor",
+    "ChaosVerdict",
+]

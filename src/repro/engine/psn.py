@@ -107,11 +107,17 @@ DEFAULT_MAX_STEPS = 20_000_000
 
 class QueuedDelta(NamedTuple):
     """An intent on the queue; ``force`` removes a fact regardless of its
-    derivation count (external base deletions, pkey replacement)."""
+    derivation count (external base deletions, pkey replacement).
+    ``restore`` is a deferred fallback check on the fact's keyed slot:
+    it re-materializes the latest shadowed version only if the slot is
+    still empty when the intent is processed (a replacement already in
+    flight fills it first, so transient ``-old/+new`` update pairs do
+    not churn through stale versions)."""
 
     fact: Fact
     sign: int
     force: bool = False
+    restore: bool = False
 
 
 class Strand:
@@ -247,6 +253,11 @@ class PSNEngine:
                     crule.head.pred, group_positions, value_position, func
                 )
         self.queue: Deque[QueuedDelta] = deque()
+        #: While True, rule firings keep their heads on this node (the
+        #: distributed ``_emit`` override skips shipping).  Set around a
+        #: fallback restore: the restored row is an old advertisement
+        #: that must not re-announce itself to the network.
+        self._local_only = False
         self.clock = 0
         self.inferences = 0
         self.steps = 0
@@ -365,6 +376,36 @@ class PSNEngine:
                 taken += 1
         return taken
 
+    def queue_slot_repairs(self) -> int:
+        """Queue a restore intent for every *broken slot*: a primary key
+        of a fallback table that has shadowed (superseded-but-
+        outstanding) versions and no current row.  Returns the number of
+        intents queued.
+
+        This is the convergence watchdog's repair hook, and it must run
+        only at a quiescence boundary (this engine's queue is dry and --
+        in a distributed run -- nothing is in flight towards it):
+        restoring eagerly amid churn re-advertises stale versions into
+        latest-wins slots on a cyclic topology, and the feedback wave
+        never dissipates.  At quiescence, an empty slot with outstanding
+        shadowed versions is a genuine casualty of destructive
+        replacement -- nothing upstream will ever refill it (its
+        alternatives' support never changed, so no delta fires there).
+        """
+        queued = 0
+        for table in self.db.tables.values():
+            if not table.fallback:
+                continue
+            for key, bucket in table._shadow.items():
+                if table.get_by_key(key) is not None or not bucket:
+                    continue
+                witness = next(iter(bucket))
+                self._enqueue(
+                    QueuedDelta(Fact(table.name, witness), 1, restore=True)
+                )
+                queued += 1
+        return queued
+
     def run_batch(self, batch: int) -> int:
         """Process at most ``batch`` deltas (used by BSN scheduling)."""
         taken = 0
@@ -392,7 +433,9 @@ class PSNEngine:
     def process_next(self) -> None:
         delta = self.queue.popleft()
         self.steps += 1
-        if delta.sign > 0:
+        if delta.restore:
+            self._commit_restore(delta.fact)
+        elif delta.sign > 0:
             self._commit_insert(delta.fact)
         else:
             self._commit_delete(delta.fact, force=delta.force)
@@ -416,7 +459,7 @@ class PSNEngine:
         # bursts skip the grouping scan outright.
         has_plus = has_minus = False
         for delta in chunk:
-            if delta.force:
+            if delta.force or delta.restore:
                 continue
             if delta.sign > 0:
                 has_plus = True
@@ -432,6 +475,10 @@ class PSNEngine:
             delta = survivors[index]
             pred = delta.fact.pred
             sign = delta.sign
+            if delta.restore:
+                self._commit_restore(delta.fact)
+                index += 1
+                continue
             if delta.force or pred in unbatchable:
                 if sign > 0:
                     self._commit_insert(delta.fact)
@@ -442,7 +489,8 @@ class PSNEngine:
             stop = index + 1
             while stop < end:
                 nxt = survivors[stop]
-                if nxt.force or nxt.sign != sign or nxt.fact.pred != pred:
+                if (nxt.force or nxt.restore or nxt.sign != sign
+                        or nxt.fact.pred != pred):
                     break
                 stop += 1
             if stop - index == 1:
@@ -484,9 +532,11 @@ class PSNEngine:
             group = groups.get(group_key)
             if group is None:
                 # [args, eligible, positions]
-                groups[group_key] = group = [fact.args, not delta.force, []]
+                groups[group_key] = group = [
+                    fact.args, not (delta.force or delta.restore), []
+                ]
                 order.append(group_key)
-            elif group[0] != fact.args or delta.force:
+            elif group[0] != fact.args or delta.force or delta.restore:
                 group[1] = False
             group[2].append(position)
         dropped: set = set()
@@ -545,9 +595,14 @@ class PSNEngine:
                 if pending:
                     self._fire_strands_batch(pending, 1)
                     pending = []
-                self._retract_visible(Fact(fact.pred, old))
+                if table.fallback:
+                    self._supersede_visible(Fact(fact.pred, old))
+                else:
+                    self._retract_visible(Fact(fact.pred, old))
             self.clock += 1
             table.insert(args, ts=self.clock)
+            if table.fallback:
+                table.absorb_shadow(args)
             if on_commit is not None:
                 on_commit(fact, 1)
             pending.append(fact)
@@ -566,7 +621,11 @@ class PSNEngine:
         for fact in facts:
             current = table.count(fact.args)
             if current <= 0:
-                continue  # superseded, never committed, or already gone
+                # Superseded, never committed, or already gone; on a
+                # fallback table this may withdraw a shadowed version.
+                if table.fallback:
+                    table.shadow_discard(fact.args)
+                continue
             if current > 1:
                 table.delete(fact.args)
                 continue
@@ -595,9 +654,14 @@ class PSNEngine:
         old = table.get_by_key(table.key_of(fact.args))
         if old is not None:
             # Primary-key replacement: retract the superseded tuple first.
-            self._retract_visible(Fact(fact.pred, old))
+            if table.fallback:
+                self._supersede_visible(Fact(fact.pred, old))
+            else:
+                self._retract_visible(Fact(fact.pred, old))
         self.clock += 1
         table.insert(fact.args, ts=self.clock)
+        if table.fallback:
+            table.absorb_shadow(fact.args)
         if self.on_commit is not None:
             self.on_commit(fact, 1)
         self._fire_strands(fact, 1)
@@ -606,11 +670,22 @@ class PSNEngine:
         table = self.db.table(fact.pred)
         current = table.count(fact.args)
         if current <= 0:
-            return  # superseded, never committed, or already gone
+            # Superseded, never committed, or already gone.  On a
+            # fallback table the deletion may target a shadowed version:
+            # its producer withdrew an advertisement that was never (or
+            # no longer) current, so it must stop being a restore
+            # candidate.
+            if table.fallback:
+                table.shadow_discard(fact.args)
+            return
         if current > 1 and not force:
             table.delete(fact.args)
             return
         self._retract_visible(fact)
+        if force and table.fallback:
+            # A forced delete wipes the slot outright (base-table
+            # semantics: superseded values never resurrect).
+            table.clear_shadow(table.key_of(fact.args))
 
     def _retract_visible(self, fact: Fact) -> None:
         """Remove a visible fact: run its deletion strands while it is
@@ -623,6 +698,72 @@ class PSNEngine:
             # last derivation); kill its remaining live support.
             self.provenance.retracted(fact)
         self.db.table(fact.pred).force_delete(fact.args)
+
+    def _supersede_visible(self, fact: Fact) -> None:
+        """Displace the current row of a keyed slot.  Downstream
+        consumers see a retraction (only the latest version of a slot is
+        visible), but the derivation stays outstanding in the table's
+        shadow: its producer never withdrew it, only the replacement
+        displaced it, so a later withdrawal of the replacement falls
+        back to it (:meth:`_restore_fallback`)."""
+        if self.on_commit is not None:
+            self.on_commit(fact, -1)
+        self._fire_strands(fact, -1)
+        if self.provenance is not None:
+            self.provenance.retracted(fact)
+        self.db.table(fact.pred).supersede(fact.args)
+
+    def _commit_restore(self, fact: Fact) -> None:
+        """Process a deferred restore intent: if the keyed slot ``fact``
+        was retracted from is *still* empty (no replacement landed while
+        the intent waited in the queue), re-materialize its latest
+        shadowed version."""
+        table = self.db.table(fact.pred)
+        key = table.key_of(fact.args)
+        if table.get_by_key(key) is not None:
+            return  # a newer version already refilled the slot
+        self._restore_fallback(table, key)
+
+    def _restore_fallback(self, table, key: Tuple) -> None:
+        """A keyed slot lost its visible row and nothing refilled it.
+        If older advertisements for the slot are still outstanding, the
+        most recent one becomes current again -- without this, a slot
+        whose latest version is withdrawn goes empty even though a
+        perfectly live alternative derivation was destructively
+        superseded earlier, and nothing upstream will ever re-send it
+        (its support never changed, so no delta fires there).
+
+        The restore propagates *locally only*: its strands fire (so
+        same-node consumers -- e.g. a query projection -- are made
+        whole), but remote heads are not shipped.  The restored row is
+        an **old** advertisement: when it was displaced, its ``-1``
+        already propagated and downstream slots moved on to newer
+        versions, so re-announcing it would override them with stale
+        state and (on a cyclic topology) feed an oscillation that never
+        damps.  Future derivations join against the restored row
+        normally, and a later withdrawal of it fires full ``-1``
+        strands, which downstream treats as an exact-args miss (a
+        no-op, per the count discipline)."""
+        entry = table.pop_fallback(key)
+        if entry is None:
+            return
+        args, _count = entry
+        # Restore with a fresh single-derivation count: the superseded
+        # support was already marked retracted when the version was
+        # displaced, and the repair's own "<fallback>" record is its one
+        # live justification (keeps the provenance audit exact).
+        self.clock += 1
+        table.insert(args, ts=self.clock)
+        fact = Fact(table.name, args)
+        if self.on_commit is not None:
+            self.on_commit(fact, 1)
+        if self.provenance is not None:
+            self.provenance.record_fact("<fallback>", fact, (), 1)
+        self._local_only = True
+        try:
+            self._fire_strands(fact, 1)
+        finally:
+            self._local_only = False
 
     def _fire_strands(self, fact: Fact, sign: int) -> None:
         for strand in self.strands.get(fact.pred, ()):

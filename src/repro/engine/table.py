@@ -35,6 +35,7 @@ class Table:
         arity: int,
         key: Sequence[int] = (),
         lifetime: float = INFINITY,
+        fallback: bool = False,
     ):
         if arity <= 0:
             raise SchemaError(f"table {name!r} must have positive arity")
@@ -49,12 +50,24 @@ class Table:
         self.key: Tuple[int, ...] = tuple(key) or tuple(range(arity))
         self.lifetime = lifetime
         self._full_key = self.key == tuple(range(arity))
+        #: Shadow superseded slot versions so the latest outstanding one
+        #: can be restored when the current row is withdrawn.  Only
+        #: meaningful for keyed tables that rules derive into, where a
+        #: slot aggregates independently-derived versions (a neighbour's
+        #: successive advertisements); full-key or soft-state tables
+        #: never shadow.
+        self.fallback = (
+            fallback and not self._full_key and lifetime == INFINITY
+        )
         #: key value -> stored args
         self._rows: Dict[Tuple, Tuple] = {}
         #: args -> derivation count
         self._counts: Dict[Tuple, int] = {}
         #: args -> timestamp of (re-)insertion
         self._ts: Dict[Tuple, int] = {}
+        #: key value -> {superseded args -> derivation count}, in
+        #: displacement order (most recent last).
+        self._shadow: Dict[Tuple, Dict[Tuple, int]] = {}
         #: positions tuple -> (value tuple -> set of args)
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple, Set[Tuple]]] = {}
 
@@ -160,6 +173,77 @@ class Table:
         self._remove(args)
         return [(-1, args)]
 
+    # ------------------------------------------------------------------
+    # Slot shadows (fallback tables only)
+    # ------------------------------------------------------------------
+    def supersede(self, args: Tuple) -> None:
+        """Displace the stored tuple ``args`` into its key's shadow,
+        preserving its derivation count: the version is still
+        *outstanding* (whoever derived it has not withdrawn it), it is
+        merely no longer the slot's current value."""
+        args = tuple(args)
+        count = self._counts.get(args)
+        if count is None:
+            return
+        key = self.key_of(args)
+        self._remove(args)
+        bucket = self._shadow.setdefault(key, {})
+        count += bucket.pop(args, 0)
+        bucket[args] = count  # re-append: most recent displacement last
+
+    def shadowed(self, args: Tuple) -> bool:
+        """Whether ``args`` is a superseded-but-outstanding version."""
+        args = tuple(args)
+        bucket = self._shadow.get(self.key_of(args))
+        return bucket is not None and args in bucket
+
+    def shadow_discard(self, args: Tuple, count: int = 1) -> None:
+        """Withdraw ``count`` derivations of a shadowed version (its
+        producer retracted an advertisement that was never current)."""
+        args = tuple(args)
+        key = self.key_of(args)
+        bucket = self._shadow.get(key)
+        if bucket is None or args not in bucket:
+            return
+        remaining = bucket[args] - count
+        if remaining > 0:
+            bucket[args] = remaining
+        else:
+            del bucket[args]
+            if not bucket:
+                del self._shadow[key]
+
+    def pop_fallback(self, key: Tuple) -> Optional[Tuple[Tuple, int]]:
+        """Remove and return the most recently displaced outstanding
+        version under ``key`` as ``(args, count)``, or ``None``."""
+        bucket = self._shadow.get(key)
+        if not bucket:
+            return None
+        args, count = bucket.popitem()
+        if not bucket:
+            del self._shadow[key]
+        return args, count
+
+    def absorb_shadow(self, args: Tuple) -> None:
+        """Drop any shadow entry for ``args``: a version that was
+        re-advertised while shadowed is current again and must not also
+        linger as its own fallback.  The shadow is a *passive* stock of
+        repair hints -- it never feeds live derivation counts (which
+        stay exactly what the baseline count algorithm produces)."""
+        args = tuple(args)
+        key = self.key_of(args)
+        bucket = self._shadow.get(key)
+        if bucket is None:
+            return
+        bucket.pop(args, None)
+        if not bucket:
+            del self._shadow[key]
+
+    def clear_shadow(self, key: Tuple) -> None:
+        """Drop every shadowed version under ``key`` (forced deletes
+        wipe the whole slot: nothing may resurrect)."""
+        self._shadow.pop(key, None)
+
     def restamp(self, args: Tuple, ts: int) -> None:
         """Reassign a stored tuple's timestamp (used when pre-loaded rows
         are seeded into a PSN queue, so table and delta timestamps agree)."""
@@ -171,6 +255,7 @@ class Table:
         self._rows.clear()
         self._counts.clear()
         self._ts.clear()
+        self._shadow.clear()
         for index in self._indexes.values():
             index.clear()
 

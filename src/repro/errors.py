@@ -86,8 +86,12 @@ class PlanError(ReproError):
 
 
 class NetworkError(ReproError):
-    """Raised by the network simulator on misuse (sending along a
-    non-existent link, malformed messages)."""
+    """Raised by the network layer on misuse (sending along a
+    non-existent link, invalid chaos schedules) and on malformed wire
+    data: ``decode_message`` converts any decode failure to this type,
+    so live receive paths absorb garbage datagrams with one
+    taxonomy-stable except clause instead of dying on a bare
+    ``KeyError``/``JSONDecodeError``."""
 
 
 class StaticAnalysisError(ReproError):

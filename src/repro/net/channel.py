@@ -21,6 +21,15 @@ transmit queue) and the propagation latency is constant, so arrivals
 never reorder.  The asyncio backends preserve it because timers with
 nondecreasing deadlines fire in order and UDP on loopback does not
 reorder in practice.
+
+That structural guarantee holds only for the pristine channel: a chaos
+schedule (:mod:`repro.chaos`) deliberately reorders, duplicates, and
+drops messages by wrapping channels in a
+:class:`~repro.chaos.ChaosChannel`, and real networks do the same.
+When delivery can be faulty, run with ``config.reliable`` -- the
+ack/retransmit transport (:mod:`repro.net.reliable`) re-establishes
+per-link FIFO exactly-once delivery end to end, which is what Theorem 4
+actually needs.
 """
 
 from __future__ import annotations

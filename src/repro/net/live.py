@@ -91,27 +91,57 @@ def encode_message(message: Message) -> bytes:
         if delta.prov is not None:
             entry.append(delta.prov)
         deltas.append(entry)
-    return json.dumps({
+    frame = {
         "s": message.src,
         "d": message.dst,
         "h": message.shared_bytes,
         "t": deltas,
-    }, separators=(",", ":")).encode("utf-8")
+    }
+    # Reliable-transport framing ("q"uence / "a"ck), omitted when the
+    # transport is off so the historical wire layout is untouched.
+    if message.seq is not None:
+        frame["q"] = message.seq
+    if message.ack is not None:
+        frame["a"] = message.ack
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8")
 
 
 def decode_message(data: bytes) -> Message:
-    raw = json.loads(data.decode("utf-8"))
-    deltas = tuple(
-        NetDelta(
-            entry[0],
-            tuple(_decode_value(arg) for arg in entry[2]),
-            entry[1],
-            entry[3] if len(entry) > 3 else None,
+    """Decode one wire frame.
+
+    Hardened: a malformed or truncated datagram raises
+    :class:`~repro.errors.NetworkError` (never a bare ``KeyError`` /
+    ``JSONDecodeError`` / ``UnicodeDecodeError``), so receive paths can
+    absorb garbage with one taxonomy-stable except clause instead of
+    dying inside ``datagram_received``.
+    """
+    try:
+        raw = json.loads(data.decode("utf-8"))
+        deltas = tuple(
+            NetDelta(
+                entry[0],
+                tuple(_decode_value(arg) for arg in entry[2]),
+                entry[1],
+                entry[3] if len(entry) > 3 else None,
+            )
+            for entry in raw["t"]
         )
-        for entry in raw["t"]
-    )
-    return Message(src=raw["s"], dst=raw["d"], deltas=deltas,
-                   shared_bytes=raw["h"])
+        message = Message(src=raw["s"], dst=raw["d"], deltas=deltas,
+                          shared_bytes=raw["h"],
+                          seq=raw.get("q"), ack=raw.get("a"))
+    except NetworkError:
+        raise  # already taxonomied (unknown wire tag)
+    except (ValueError, KeyError, IndexError, TypeError) as exc:
+        # ValueError covers JSONDecodeError and UnicodeDecodeError.
+        raise NetworkError(
+            f"malformed wire datagram ({type(exc).__name__}: {exc})"
+        ) from exc
+    if not isinstance(message.src, str) or not isinstance(message.dst, str):
+        raise NetworkError(
+            f"malformed wire datagram (non-string endpoints "
+            f"{message.src!r}->{message.dst!r})"
+        )
+    return message
 
 
 # ----------------------------------------------------------------------
@@ -180,8 +210,14 @@ class UdpFabric:
         self.in_flight = 0
         self.datagrams_sent = 0
         self.datagrams_received = 0
+        self.malformed_dropped = 0
+        self.stray_datagrams = 0
         self.last_activity = time.monotonic()
         self.on_message: Optional[Callable[[Message], None]] = None
+        #: Cluster traffic stats to mirror the hardening counters into
+        #: (set by the live cluster; optional so the fabric stands
+        #: alone in unit tests).
+        self.stats = None
 
     async def bind(self, node: str) -> Tuple[str, int]:
         """Open ``node``'s datagram endpoint on an ephemeral port."""
@@ -218,11 +254,29 @@ class UdpFabric:
         transport.sendto(data, address)
 
     def _receive(self, data: bytes) -> None:
-        self.in_flight -= 1
+        if self.in_flight <= 0:
+            # A datagram with no send on the books (duplicated by the
+            # stack, or sprayed at our port by a stranger) must not
+            # push the counter negative -- that would poison ``settled``
+            # into reporting quiescence while real sends are in flight.
+            self.stray_datagrams += 1
+            if self.stats is not None:
+                self.stats.stray_datagrams += 1
+        else:
+            self.in_flight -= 1
         self.datagrams_received += 1
         self.last_activity = time.monotonic()
+        try:
+            message = decode_message(data)
+        except NetworkError:
+            # Garbage on the wire is the network's problem, not the
+            # node's: count it and keep the receive path alive.
+            self.malformed_dropped += 1
+            if self.stats is not None:
+                self.stats.malformed_dropped += 1
+            return
         if self.on_message is not None:
-            self.on_message(decode_message(data))
+            self.on_message(message)
 
     @property
     def settled(self) -> bool:

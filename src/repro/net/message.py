@@ -76,12 +76,21 @@ class Message:
     sharing of Section 5.2: ``shared_fields`` are charged once.
     ``deltas`` and ``shared_bytes`` must not be mutated after the first
     ``size`` read (construction sites build messages whole).
+
+    ``seq``/``ack`` are the reliable transport's per-direction sequence
+    number and piggybacked cumulative ack (:mod:`repro.net.reliable`);
+    a pure ack has ``ack`` set, ``seq`` ``None`` and no deltas.  Like
+    provenance tags they ride outside the byte model -- the paper's
+    communication metric is the protocol payload, and the few bytes of
+    transport framing are already covered by ``HEADER_BYTES``.
     """
 
     src: str
     dst: str
     deltas: Tuple[NetDelta, ...]
     shared_bytes: int = 0
+    seq: Optional[int] = None
+    ack: Optional[int] = None
     _size: int = field(default=0, repr=False, compare=False)
 
     @property

@@ -13,11 +13,31 @@ from typing import Dict, List, Tuple
 
 @dataclass
 class TrafficStats:
-    """Records every sent message as ``(time, bytes)`` per node."""
+    """Records every sent message as ``(time, bytes)`` per node, plus
+    the robustness counters of the reliable transport
+    (:mod:`repro.net.reliable`) and the chaos harness
+    (:mod:`repro.chaos`)."""
 
     records: List[Tuple[float, str, int]] = field(default_factory=list)
     dropped_no_link: int = 0
     messages: int = 0
+    #: Reliable transport: retransmissions fired / pure acks flushed /
+    #: duplicate arrivals discarded / out-of-order arrivals released in
+    #: order from the reassembly buffer.
+    retransmits: int = 0
+    acks_sent: int = 0
+    dup_dropped: int = 0
+    reorders_healed: int = 0
+    #: Sends suppressed because the watchdog declared the peer dead.
+    dead_link_drops: int = 0
+    #: Links the convergence watchdog tore down (retry budget spent).
+    links_torn_down: int = 0
+    #: Receive-path hardening: undecodable frames discarded, and
+    #: datagrams that arrived with no send on the books.
+    malformed_dropped: int = 0
+    stray_datagrams: int = 0
+    #: Chaos harness: applied faults by kind.
+    faults_injected: Dict[str, int] = field(default_factory=dict)
 
     def record(self, time: float, node: str, nbytes: int) -> None:
         self.records.append((time, node, nbytes))

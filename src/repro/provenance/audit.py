@@ -31,7 +31,7 @@ counts invisibly to the graph).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.engine.facts import Fact
 from repro.engine.table import INFINITY
@@ -120,13 +120,19 @@ def audit_engine(engine, strict: bool = True) -> AuditReport:
     return report
 
 
-def audit_cluster(cluster, strict: Optional[bool] = None) -> AuditReport:
+def audit_cluster(cluster, strict: Optional[bool] = None,
+                  exclude_nodes: Iterable[str] = ()) -> AuditReport:
     """Audit a deployed cluster (simulated or live) against its shared
     store.  Call at quiescence.
 
     ``strict=None`` auto-selects: exact count equality when the
     transport delivers every delta eagerly, support-only when periodic
     buffering or lossy links may legitimately elide recorded firings.
+
+    ``exclude_nodes`` skips those nodes' tables (and orphan checks homed
+    there).  Nodes a chaos schedule crashed for good are always skipped:
+    their tables froze mid-churn while the shared store kept moving, so
+    disagreement is the *expected* outcome, not a maintenance bug.
     """
     store = getattr(cluster, "provenance", None)
     if store is None:
@@ -134,15 +140,32 @@ def audit_cluster(cluster, strict: Optional[bool] = None) -> AuditReport:
             "cluster was deployed without provenance capture "
             "(compile(..., provenance=True))"
         )
+    skipped = set(exclude_nodes)
+    chaos = getattr(cluster, "chaos", None)
+    if chaos is not None:
+        skipped.update(chaos.dead_nodes(float("inf")))
     if strict is None:
         config = cluster.config
-        strict = not config.buffer_interval and not config.loss_rate
+        # Exact counting needs every recorded firing delivered exactly
+        # once: no periodic elision, no unreliable loss (the reliable
+        # transport restores delivery under loss), and no chaos faults
+        # (a crashed-for-good node legitimately never materializes
+        # firings recorded at its peers).
+        strict = (
+            not config.buffer_interval
+            and (not config.loss_rate or config.reliable)
+            and config.chaos is None
+        )
     report = AuditReport(strict=strict, floored=store.floored)
     for name, runtime in cluster.nodes.items():
+        if name in skipped:
+            continue
         _audit_tables(report, store, runtime.db, name, strict)
     if strict:
         for fact, support in store.known_facts():
             if support <= 0 or fact.pred in store.view_preds:
+                continue
+            if fact.args and fact.args[0] in skipped:
                 continue
             home = cluster.nodes.get(fact.args[0]) if fact.args else None
             if home is None:

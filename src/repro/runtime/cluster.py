@@ -31,7 +31,7 @@ from repro.net.stats import ResultTracker, TrafficStats
 from repro.planner.localization import is_canonical
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.node import NodeRuntime
-from repro.runtime.transport import Transport
+from repro.runtime.transport import ReliableTransport, Transport
 from repro.topology.overlay import Overlay
 
 
@@ -68,6 +68,9 @@ class Cluster:
         self.sim = self.clock
         self.stats = TrafficStats()
         self.trackers: List[ResultTracker] = []
+        #: True while a watchdog teardown's repair window is open (the
+        #: deferred fallback restores it queued are not yet drained).
+        self._repair_pending = False
         self.loss_rng = random.Random(self.config.seed)
 
         if isinstance(program, CompiledProgram):
@@ -102,10 +105,23 @@ class Cluster:
 
             self.provenance = ProvenanceStore()
 
-        self.transport = Transport(self, self.config)
+        if self.config.reliable:
+            self.transport: Transport = ReliableTransport(self, self.config)
+        else:
+            self.transport = Transport(self, self.config)
         self._channels: Dict[Tuple[str, str], Channel] = {}
         for (a, b), metrics in overlay.links.items():
             self._channels[(a, b)] = self._make_channel(a, b, metrics)
+
+        #: Fault injector (:mod:`repro.chaos`), or ``None``.  Built
+        #: after the channels (it wraps them) and before the nodes
+        #: (skewed nodes take their clock view from it).
+        self.chaos = None
+        if self.config.chaos is not None:
+            from repro.chaos import ChaosController
+
+            self.chaos = ChaosController(self, self.config.chaos)
+            self.chaos.wrap_channels(self._channels)
 
         self.nodes: Dict[str, NodeRuntime] = {
             name: NodeRuntime(name, self.program, self)
@@ -118,6 +134,9 @@ class Cluster:
 
         if link_loads is None:
             link_loads = {"link": "latency"}
+        #: The deployed link relations -- the watchdog tears failed
+        #: links down through exactly these predicates.
+        self.link_loads: Dict[str, str] = dict(link_loads)
         self._load_initial(link_loads)
 
     # ------------------------------------------------------------------
@@ -169,11 +188,57 @@ class Cluster:
         self.transport.send(src, dst, pred, args, sign, prov=prov)
 
     def deliver(self, message: Message) -> None:
+        """Channel arrival: chaos delivery guard, then the reliable
+        transport's dedup/reassembly filter, then dispatch.  All three
+        backends funnel through here (the UDP fabric's ``on_message``
+        included), so faults and the delivery contract behave
+        identically everywhere."""
+        if self.chaos is not None and not self.chaos.deliverable(message):
+            return
+        for ready in self.transport.on_arrival(message):
+            self._dispatch(ready)
+
+    def _dispatch(self, message: Message) -> None:
+        """Hand one in-order message to the destination node (the live
+        cluster overrides this to enqueue onto the node task's inbox)."""
         node = self.nodes.get(message.dst)
         if node is None:
             raise NetworkError(f"message to unknown node {message.dst}")
         for delta in message.deltas:
-            node.receive(delta.pred, delta.args, delta.sign, prov=delta.prov)
+            node.receive(delta.pred, delta.args, delta.sign,
+                         prov=delta.prov, origin=message.src)
+
+    def clock_for(self, node: str):
+        """The clock a node schedules on: the shared cluster clock, or
+        its skewed view when the chaos schedule drifts this node."""
+        if self.chaos is not None:
+            return self.chaos.clock_for(node)
+        return self.clock
+
+    def fail_link(self, src: str, dst: str) -> None:
+        """Convergence watchdog: ``dst`` stopped acknowledging ``src``.
+        Delete the link facts for the pair at the surviving endpoint --
+        the same declarative path a planned link update takes -- so the
+        protocol re-converges around the dead peer."""
+        node = self.nodes.get(src)
+        if node is None:
+            return
+        self.stats.links_torn_down += 1
+        self._begin_repair()
+        for pred in self.link_loads:
+            table = node.db.tables.get(pred)
+            if table is None:
+                continue
+            for args in [
+                row for row in table.rows()
+                if len(row) >= 2 and row[0] == src and row[1] == dst
+            ]:
+                node.delete(pred, args)
+        # A deletion cascade cannot route through the dead peer (the
+        # localized joins live there), so withdraw its advertisements
+        # on its behalf; re-convergence then propagates normally among
+        # the survivors.
+        node.invalidate_peer(dst)
 
     def pkey_of(self, pred: str, args: Tuple) -> Tuple:
         key = self._pkeys.get(pred)
@@ -198,12 +263,58 @@ class Cluster:
                 "cluster.run() drives the virtual clock; a live cluster "
                 "advances on wall time (await deployment.quiescent())"
             )
-        return self.clock.run(until=until)
+        end = self.clock.run(until=until)
+        # Quiescence boundary inside an open repair window (a watchdog
+        # teardown happened): restore broken keyed slots -- empty, but
+        # with superseded-yet-outstanding versions shadowed -- and run
+        # each repair wave to quiescence; when a sweep finds none, the
+        # repair is complete.  Restores must wait for quiescence (not
+        # run amid churn) or stale re-advertisements into latest-wins
+        # slots feed back around topology cycles forever.
+        while self.clock.pending == 0 and self._repair_pending:
+            if self._queue_slot_repairs():
+                end = self.clock.run(until=until)
+            else:
+                self._repair_pending = False
+        return end
+
+    def _begin_repair(self) -> None:
+        """Open the repair window: the next quiescence sweeps for broken
+        slots (:meth:`~repro.engine.psn.PSNEngine.queue_slot_repairs`)."""
+        self._repair_pending = True
+
+    def repair(self) -> float:
+        """Run the quiescent slot-repair sweep to fixpoint.  The
+        watchdog opens the repair window automatically when it tears a
+        link down; calling this explicitly computes the same *repaired*
+        fixpoint on a fault-free run (the reference side of a
+        :class:`~repro.chaos.ChaosMonitor` comparison)."""
+        self._begin_repair()
+        return self.run()
+
+    def _queue_slot_repairs(self) -> int:
+        down = (
+            self.chaos.dead_nodes(self.clock.now)
+            if self.chaos is not None else frozenset()
+        )
+        queued = 0
+        for name, node in self.nodes.items():
+            if name not in down:
+                queued += node.queue_slot_repairs()
+        return queued
 
     @property
     def quiescent(self) -> bool:
+        down = (
+            self.chaos.dead_nodes(self.clock.now)
+            if self.chaos is not None else frozenset()
+        )
+        # A crashed node's queue is frozen, not pending work: the rest
+        # of the network is quiescent without it.
         return self.clock.pending == 0 and all(
-            node.quiescent for node in self.nodes.values()
+            node.quiescent
+            for name, node in self.nodes.items()
+            if name not in down
         )
 
     # ------------------------------------------------------------------
@@ -263,10 +374,12 @@ class Cluster:
             functions=sample.db.functions, depth=depth,
         )
 
-    def audit(self, strict: Optional[bool] = None):
+    def audit(self, strict: Optional[bool] = None,
+              exclude_nodes=()):
         """Cross-check per-node derivation counts against the shared
         provenance graph; call at quiescence."""
         self._require_provenance()
         from repro.provenance import audit_cluster
 
-        return audit_cluster(self, strict=strict)
+        return audit_cluster(self, strict=strict,
+                             exclude_nodes=exclude_nodes)

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.net.link import DEFAULT_BANDWIDTH_BPS
+
+if TYPE_CHECKING:  # import cycle: chaos wraps runtime clusters
+    from repro.chaos.schedule import ChaosSchedule
 
 
 @dataclass(frozen=True)
@@ -78,3 +81,20 @@ class RuntimeConfig:
     seed: int = 0
     #: Validate the program against NDlog's constraints before compiling.
     validate: bool = True
+    #: Ship deltas over the ack/retransmit reliable transport
+    #: (:mod:`repro.net.reliable`): restores the FIFO + exactly-once
+    #: delivery of Theorem 4 on lossy/reordering links.
+    reliable: bool = False
+    #: Consecutive unacked retransmits before the convergence watchdog
+    #: declares the peer dead and tears the link down.
+    retry_budget: int = 6
+    #: Retransmit-timer floor/ceiling (seconds) and backoff factor.
+    rto_min: float = 0.05
+    rto_max: float = 2.0
+    rto_backoff: float = 2.0
+    #: How long a direction may owe a cumulative ack before flushing a
+    #: pure ack (reverse traffic inside the window piggybacks it).
+    ack_delay: float = 0.02
+    #: Fault-injection plan (:class:`repro.chaos.ChaosSchedule`), or
+    #: ``None`` for a fault-free run.
+    chaos: Optional["ChaosSchedule"] = None

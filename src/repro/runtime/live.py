@@ -116,7 +116,10 @@ class LiveCluster(Cluster):
         self._started = True
         loop = asyncio.get_running_loop()
         if self.fabric is not None:
-            self.fabric.on_message = self._deliver_local
+            # Route datagrams through the full delivery path (chaos
+            # guard + reliable filter), not straight to the inboxes.
+            self.fabric.on_message = self.deliver
+            self.fabric.stats = self.stats
             for name in self.nodes:
                 await self.fabric.bind(name)
         for name, node in self.nodes.items():
@@ -138,7 +141,7 @@ class LiveCluster(Cluster):
             try:
                 for delta in message.deltas:
                     node.receive(delta.pred, delta.args, delta.sign,
-                                 prov=delta.prov)
+                                 prov=delta.prov, origin=message.src)
             except BaseException as exc:  # noqa: BLE001 -- surfaced at stop
                 self._task_failures.append((name, exc))
 
@@ -169,11 +172,9 @@ class LiveCluster(Cluster):
             ) from first
 
     # -- delivery -------------------------------------------------------
-    def deliver(self, message: Message) -> None:
-        """Channel arrival (in-process backend): route to the node task."""
-        self._deliver_local(message)
-
-    def _deliver_local(self, message: Message) -> None:
+    def _dispatch(self, message: Message) -> None:
+        """In-order arrival (past the chaos guard and reliable filter
+        in :meth:`Cluster.deliver`): route to the node task's inbox."""
         inbox = self._inboxes.get(message.dst)
         if inbox is None:
             raise NetworkError(f"message to unknown node {message.dst}")
@@ -186,11 +187,21 @@ class LiveCluster(Cluster):
         no queued deltas.  One sample can race an in-flight datagram's
         kernel hop; :meth:`LiveDeployment.quiescent` requires a settle
         streak."""
+        down = (
+            self.chaos.dead_nodes(self.clock.now)
+            if self.chaos is not None else frozenset()
+        )
         return (
             self.clock.pending == 0
             and (self.fabric is None or self.fabric.settled)
-            and all(inbox.empty() for inbox in self._inboxes.values())
-            and all(node.quiescent for node in self.nodes.values())
+            and all(
+                inbox.empty() for name, inbox in self._inboxes.items()
+                if name not in down
+            )
+            and all(
+                node.quiescent for name, node in self.nodes.items()
+                if name not in down
+            )
         )
 
     @property
@@ -276,6 +287,15 @@ class LiveDeployment:
         while True:
             streak = streak + 1 if cluster.idle else 0
             if streak >= settle:
+                # Quiescence with an open repair window (the watchdog
+                # tore a link down): sweep for broken keyed slots, and
+                # if the sweep queued restores, settle again -- same
+                # discipline as the simulator's Cluster.run loop.
+                if cluster._repair_pending:
+                    if cluster._queue_slot_repairs():
+                        streak = 0
+                        continue
+                    cluster._repair_pending = False
                 return True
             if loop.time() >= deadline:
                 return False
@@ -419,10 +439,12 @@ class LiveDeployment:
         :meth:`repro.api.Deployment.why_not`)."""
         return self._require_started().why_not(pred, args, depth=depth)
 
-    def audit(self, strict: Optional[bool] = None):
+    def audit(self, strict: Optional[bool] = None,
+              exclude_nodes=()):
         """Count/graph cross-check at quiescence (see
         :func:`repro.provenance.audit_cluster`)."""
-        return self._require_started().audit(strict=strict)
+        return self._require_started().audit(strict=strict,
+                                             exclude_nodes=exclude_nodes)
 
     # -- surfaces -------------------------------------------------------
     @property

@@ -42,6 +42,10 @@ class NodeRuntime(PSNEngine):
         # cluster's cache policy.
         self.address = address
         self.cluster = cluster
+        #: This node's scheduling clock: the shared cluster clock, or a
+        #: drifted view of it when a chaos schedule skews this node.
+        #: (``self.clock`` is taken: PSN's logical timestamp counter.)
+        self.net_clock = cluster.clock_for(address)
         store = getattr(cluster, "provenance", None)
         recorder = None
         if store is not None:
@@ -54,6 +58,12 @@ class NodeRuntime(PSNEngine):
         self._tick_scheduled = False
         self.deltas_processed = 0
         self.on_commit = self._commit_hook
+        #: Net arrivals per neighbor: peer -> fact -> (inserts - deletes).
+        #: Maintained only under the reliable transport, where the
+        #: convergence watchdog may need to invalidate everything a dead
+        #: peer ever advertised (a deletion cascade cannot route through
+        #: a crashed node -- the joins live there).
+        self.peer_ledger: Dict[str, Dict[Fact, int]] = {}
         #: Query-result cache: dst -> (path_suffix, cost).  Section 5.2.
         self.result_cache: Dict[str, Tuple[Tuple, float]] = {}
         self.cache_hits = 0
@@ -76,9 +86,27 @@ class NodeRuntime(PSNEngine):
         if self._tick_scheduled or not self.queue:
             return
         self._tick_scheduled = True
-        self.cluster.clock.post(self.cluster.config.cpu_delay, self._tick)
+        self.net_clock.post(self.cluster.config.cpu_delay, self._tick)
 
     def _tick(self) -> None:
+        chaos = self.cluster.chaos
+        if chaos is not None:
+            resume = chaos.down_until(self.address)
+            if resume is not None:
+                # Fail-pause crash: the dataflow freezes with its queue
+                # intact.  With a scheduled restart the tick parks until
+                # then and processing resumes on the retained state;
+                # without one the node is dead for good and its queue
+                # stays parked (quiescence checks skip it).
+                if resume == float("inf"):
+                    self._tick_scheduled = False
+                    return
+                self.net_clock.post(
+                    max(0.0, resume - self.net_clock.now)
+                    + self.cluster.config.cpu_delay,
+                    self._tick,
+                )
+                return
         processed = 0
         if self.queue:
             if self.batch_size > 1:
@@ -96,9 +124,9 @@ class NodeRuntime(PSNEngine):
         # immediately after a drain.
         delay = self.cluster.config.cpu_delay
         if self.queue:
-            self.cluster.clock.post(delay * max(processed, 1), self._tick)
+            self.net_clock.post(delay * max(processed, 1), self._tick)
         elif processed > 1:
-            self.cluster.clock.post(delay * (processed - 1), self._tick)
+            self.net_clock.post(delay * (processed - 1), self._tick)
         else:
             self._tick_scheduled = False
 
@@ -106,17 +134,37 @@ class NodeRuntime(PSNEngine):
     # Network interface
     # ------------------------------------------------------------------
     def receive(self, pred: str, args: Tuple, sign: int,
-                prov: Optional[int] = None) -> None:
+                prov: Optional[int] = None,
+                origin: Optional[str] = None) -> None:
         """A tuple arrived over a link: enqueue it like a local delta
         ("a timestamp is added to each tuple at arrival", Section 3.3.2
         -- in our commit discipline the arrival order itself is the
         timestamp).  ``prov`` is the piggybacked derivation id from the
         producing node, noted on the shared store so the arrival is
-        traceable even across a real (UDP) wire."""
+        traceable even across a real (UDP) wire; ``origin`` is the
+        sending neighbor, booked on the peer ledger when the watchdog
+        may later need to invalidate that neighbor's contributions."""
         fact = Fact(pred, tuple(args))
+        if origin is not None and self.cluster.config.reliable:
+            ledger = self.peer_ledger.setdefault(origin, {})
+            count = ledger.get(fact, 0) + sign
+            if count:
+                ledger[fact] = count
+            else:
+                ledger.pop(fact, None)
         if prov is not None and self.provenance is not None and sign > 0:
             self.provenance.arrival(fact, prov)
         self.derive(fact, sign)
+
+    def invalidate_peer(self, peer: str) -> None:
+        """Watchdog support: retract every net contribution ``peer``
+        shipped here, as if the dead neighbor had withdrawn its
+        advertisements itself (the deletion cascade then propagates
+        among the survivors normally)."""
+        ledger = self.peer_ledger.pop(peer, {})
+        for fact, count in ledger.items():
+            for _ in range(max(0, count)):
+                self.derive(fact, -1)
 
     def _emit(self, crule: CompiledRule, head: Tuple, sign: int) -> None:
         pred = crule.head.pred
@@ -136,6 +184,11 @@ class NodeRuntime(PSNEngine):
         if destination == self.address:
             self.derive(Fact(pred, head), sign)
         else:
+            if self._local_only:
+                # Fallback restore in progress: the restored row is an
+                # old advertisement -- downstream already saw (and moved
+                # past) it, so it must not be re-announced.
+                return
             prov = None
             if self.provenance is not None and sign > 0:
                 # Piggyback the freshest live derivation id so the

@@ -1,17 +1,20 @@
 """Outbound message handling: direct sends, periodic batching with
 net-change elimination (periodic aggregate selections, Section 5.1.1),
-and opportunistic message sharing (Section 5.2).
+opportunistic message sharing (Section 5.2), and -- with
+``config.reliable`` -- the ack/retransmit layer that restores the
+delivery guarantees of Theorem 4 on faulty links.
 
-All three paths charge bytes to :class:`repro.net.stats.TrafficStats` at
+All paths charge bytes to :class:`repro.net.stats.TrafficStats` at
 actual transmission time, so the bandwidth figures reflect what really
-crossed each link.
+crossed each link (retransmissions and pure acks included: they are
+real traffic).
 """
 
 from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.net.message import (
     DELTA_HEADER_BYTES,
@@ -19,6 +22,7 @@ from repro.net.message import (
     NetDelta,
     value_size,
 )
+from repro.net.reliable import Flow, FlowTable
 from repro.runtime.config import RuntimeConfig
 
 #: Buffered flush timers carry +-10% deterministic jitter so that
@@ -169,8 +173,179 @@ class Transport:
             return
         message = Message(src=src, dst=dst, deltas=deltas,
                           shared_bytes=shared_bytes)
-        self.cluster.stats.record(self.cluster.clock.now, src, message.size)
+        self._send(channel, message)
+
+    def _send(self, channel, message: Message) -> None:
+        self.cluster.stats.record(self.cluster.clock.now, message.src,
+                                  message.size)
         channel.transmit(
             self.cluster.clock, message, self.cluster.deliver,
             rng=self.cluster.loss_rng,
         )
+
+    def on_arrival(self, message: Message) -> Iterable[Message]:
+        """Arrival filter hook: the raw transport delivers every
+        message as-is (the reliable transport below dedups, reorders,
+        and strips pure acks here)."""
+        return (message,)
+
+
+class ReliableTransport(Transport):
+    """Ack/retransmit delivery over the same channels.
+
+    Protocol state lives in :mod:`repro.net.reliable`; this class wires
+    it to the cluster: stamping outbound messages, arming the
+    per-direction retransmit and delayed-ack timers on the cluster
+    clock, filtering arrivals back into the FIFO exactly-once stream
+    the engine assumes, and escalating a spent retry budget to the
+    convergence watchdog (``cluster.fail_link``).
+    """
+
+    def __init__(self, cluster, config: RuntimeConfig):
+        super().__init__(cluster, config)
+        self.flows = FlowTable(config.rto_min, config.ack_delay)
+        # Decorrelates retransmit timers; seeded apart from the flush
+        # jitter stream so enabling reliability does not perturb it.
+        self._rto_jitter = random.Random(config.seed + 7331)
+
+    def _flow(self, src: str, dst: str) -> Flow:
+        channel = self.cluster.channel(src, dst)
+        latency = getattr(channel, "latency", 0.0) if channel else 0.0
+        return self.flows.get(src, dst, latency=latency)
+
+    # -- sender side ----------------------------------------------------
+    def _transmit(
+        self,
+        src: str,
+        dst: str,
+        deltas: Tuple[NetDelta, ...],
+        shared_bytes: int = 0,
+    ) -> None:
+        channel = self.cluster.channel(src, dst)
+        if channel is None:
+            self.cluster.stats.dropped_no_link += 1
+            return
+        flow = self._flow(src, dst)
+        if flow.dead:
+            # Watchdog already declared the peer dead; the link facts
+            # are gone and stragglers from in-queue work are dropped.
+            self.cluster.stats.dead_link_drops += 1
+            return
+        reverse = self._flow(dst, src)
+        message = Message(src=src, dst=dst, deltas=deltas,
+                          shared_bytes=shared_bytes,
+                          ack=reverse.cursor)
+        message.seq = flow.stamp(message)
+        reverse.ack_owed = False  # piggybacked on this send
+        self._send(channel, message)
+        if flow.timer is None:
+            self._arm_retransmit(flow)
+
+    def _arm_retransmit(self, flow: Flow) -> None:
+        delay = flow.rto * self._rto_jitter.uniform(1.0, 1.5)
+        # The sender's own clock: a skewed node retransmits on its
+        # drifted schedule, exactly like a real host with a bad clock.
+        flow.timer = self.cluster.clock_for(flow.src).after(
+            delay, lambda: self._on_timeout(flow)
+        )
+
+    def _down_until(self, node: str):
+        chaos = self.cluster.chaos
+        return None if chaos is None else chaos.down_until(node)
+
+    def _on_timeout(self, flow: Flow) -> None:
+        flow.timer = None
+        if flow.dead or not flow.unacked:
+            return
+        resume = self._down_until(flow.src)
+        if resume is not None:
+            # The *sender* is crashed: a dead host neither retransmits
+            # nor concludes anything about its peers.  Park the timer
+            # until the restart; with no restart the flow is abandoned
+            # (the survivors' watchdogs handle the teardown from their
+            # side).
+            if resume != float("inf"):
+                clock = self.cluster.clock_for(flow.src)
+                flow.timer = clock.after(
+                    max(0.0, resume - clock.now) + flow.rto,
+                    lambda: self._on_timeout(flow),
+                )
+            return
+        if flow.retries >= self.config.retry_budget:
+            self._declare_dead(flow)
+            return
+        message = flow.oldest_unacked()
+        channel = self.cluster.channel(flow.src, flow.dst)
+        if channel is None:  # link removed under us
+            flow.unacked.clear()
+            return
+        flow.backoff(self.config.rto_backoff, self.config.rto_max)
+        self.cluster.stats.retransmits += 1
+        self._send(channel, message)
+        self._arm_retransmit(flow)
+
+    def _declare_dead(self, flow: Flow) -> None:
+        """The convergence watchdog: ``retry_budget`` retransmissions
+        went unacknowledged, so the peer (or the path to it) is treated
+        as failed and the link is torn down declaratively."""
+        flow.dead = True
+        flow.unacked.clear()
+        flow.cancel_timers()
+        self.cluster.fail_link(flow.src, flow.dst)
+
+    # -- receiver side --------------------------------------------------
+    def on_arrival(self, message: Message) -> Iterable[Message]:
+        if message.ack is not None:
+            sender = self._flow(message.dst, message.src)
+            if sender.absorb_ack(message.ack):
+                if sender.timer is not None:
+                    sender.timer.cancel()
+                    sender.timer = None
+                if sender.unacked:
+                    self._arm_retransmit(sender)
+        if message.seq is None:
+            # Pure ack (or a frame from an unreliable sender): nothing
+            # to sequence, nothing to deliver.
+            return () if not message.deltas else (message,)
+        flow = self._flow(message.src, message.dst)
+        ready, dup, healed = flow.admit(message.seq, message)
+        stats = self.cluster.stats
+        if dup:
+            stats.dup_dropped += 1
+        stats.reorders_healed += healed
+        # Anything sequenced owes the sender a cumulative ack -- also
+        # duplicates (the re-ack is what stops their retransmission).
+        self._owe_ack(flow)
+        return ready
+
+    def _owe_ack(self, flow: Flow) -> None:
+        flow.ack_owed = True
+        if flow.ack_timer is None:
+            flow.ack_timer = self.cluster.clock_for(flow.dst).after(
+                self.config.ack_delay, lambda: self._flush_ack(flow)
+            )
+
+    def _flush_ack(self, flow: Flow) -> None:
+        flow.ack_timer = None
+        if not flow.ack_owed:
+            return  # reverse traffic piggybacked it meanwhile
+        resume = self._down_until(flow.dst)
+        if resume is not None:
+            # The acking host is crashed; leave the debt owed.  After a
+            # restart the next sequenced arrival re-arms the timer, and
+            # the sender's retransmissions cover the gap meanwhile.
+            if resume != float("inf"):
+                clock = self.cluster.clock_for(flow.dst)
+                flow.ack_timer = clock.after(
+                    max(0.0, resume - clock.now) + self.config.ack_delay,
+                    lambda: self._flush_ack(flow),
+                )
+            return
+        flow.ack_owed = False
+        channel = self.cluster.channel(flow.dst, flow.src)
+        if channel is None:
+            return
+        ack = Message(src=flow.dst, dst=flow.src, deltas=(),
+                      ack=flow.cursor)
+        self.cluster.stats.acks_sent += 1
+        self._send(channel, ack)

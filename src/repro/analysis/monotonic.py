@@ -6,11 +6,14 @@ aggregate, arg-extreme view, or negated literal), rolls the
 classification up per stratum, and reports what each relation's shape
 means for incremental maintenance:
 
-* monotone relations are safe under PSN's delete/re-derive discipline
-  as-is;
+* monotone relations are safe under PSN's weighted delete/re-derive
+  discipline as-is: a deletion is a ``-k`` Z-set weight whose
+  re-derivation strands retract exactly the support the insertion
+  strands built, and queue-level cancellation is plain weight addition;
 * aggregate and arg-extreme views are maintained by the engine's
-  incremental group machinery (safe, but a deletion can *raise* a min,
-  so downstream consumers see retract/assert pairs);
+  incremental group machinery over weighted contributions (safe, but a
+  deletion can *raise* a min, so downstream consumers see
+  retract/assert pairs);
 * a non-monotone rule inside a *recursive* stratum is the shape the
   set-oriented engines refuse outright -- :func:`repro.engine.stratify
   .stratify` raises a ``PlanError`` at run time; **ND301** (info)
@@ -83,9 +86,9 @@ def analyze(program: Program):
                 span=rule_span(rule),
                 message=(
                     f"{rule.head.pred!r} is non-monotone ({kind}); "
-                    f"deletions maintain it by {story}, and downstream "
-                    f"consumers see retract/assert pairs when the group "
-                    f"optimum changes"
+                    f"negative-weight deltas maintain it by {story}, and "
+                    f"downstream consumers see retract/assert pairs when "
+                    f"the group optimum changes"
                 ),
             ))
             if stratum.recursive:

@@ -12,6 +12,9 @@ Semantics: the aggregate ranges over the *set* of distinct values derived
 per group (set semantics, as everywhere in Datalog); duplicate
 derivations of the same value are tracked with multiplicity counts so
 that retractions only remove a value when its last derivation goes away.
+Contributions arrive as Z-set entries -- an integer weight per tuple
+(``+w`` adds ``w`` derivations, ``-w`` withdraws them), matching the
+engines' weighted delta representation.
 ``count<*>`` counts derivations (multiplicity included), matching its use
 as a derivation counter.
 
@@ -110,32 +113,35 @@ class GroupState:
         self.total_multiplicity = 0
         self._heap: Optional[List] = [] if func in ("min", "max") else None
 
-    def add(self, value) -> None:
-        count = self.values.get(value, 0)
-        self.values[value] = count + 1
-        self.total_multiplicity += 1
-        if count == 0 and self._heap is not None:
+    def add(self, value, count: int = 1) -> None:
+        """Add ``count`` derivations of ``value`` (one weighted entry)."""
+        current = self.values.get(value, 0)
+        self.values[value] = current + count
+        self.total_multiplicity += count
+        if current == 0 and self._heap is not None:
             # Every live value keeps at least one heap entry; re-added
             # values are re-pushed (the stale twin is harmless -- it
             # reads as live for as long as the value is).
             entry = value if self.func == "min" else _Rev(value)
             heapq.heappush(self._heap, entry)
 
-    def remove(self, value) -> None:
+    def remove(self, value, count: int = 1) -> None:
+        """Withdraw ``count`` derivations of ``value``."""
         current = self.values.get(value, 0)
-        if current <= 0:
+        if current < count:
             raise EvaluationError(
-                f"retracting value {value!r} never added to aggregate group"
+                f"retracting {count} derivation(s) of value {value!r}; "
+                f"aggregate group holds {current}"
             )
-        if current == 1:
+        if current == count:
             del self.values[value]
             # Lazy deletion: the heap entry stays until a read pops it.
             heap = self._heap
             if heap is not None and len(heap) > 2 * len(self.values) + _COMPACT_SLACK:
                 self._rebuild_heap()
         else:
-            self.values[value] = current - 1
-        self.total_multiplicity -= 1
+            self.values[value] = current - count
+        self.total_multiplicity -= count
 
     def _rebuild_heap(self) -> None:
         if self.func == "min":
@@ -177,7 +183,8 @@ class AggregateView:
     """Maintains one aggregate head relation incrementally.
 
     ``apply`` takes a *contribution* (the head tuple with the aggregate
-    position holding the input value) and a sign, updates the group, and
+    position holding the input value) and an integer weight (``+w``
+    derivations added, ``-w`` withdrawn), updates the group, and
     returns the visible deltas on the aggregate relation:
     ``[(-1, old_head), (+1, new_head)]`` when the group's value changes.
     """
@@ -187,7 +194,7 @@ class AggregateView:
         self.info = info
         self.groups: Dict[Tuple, GroupState] = {}
 
-    def apply(self, contribution: Tuple, sign: int) -> List[Tuple[int, Tuple]]:
+    def apply(self, contribution: Tuple, weight: int) -> List[Tuple[int, Tuple]]:
         info = self.info
         group_key = tuple(contribution[i] for i in info.group_positions)
         value = contribution[info.value_position]
@@ -196,10 +203,10 @@ class AggregateView:
             state = GroupState(info.func, distinct=bool(info.var))
             self.groups[group_key] = state
         old = state.current()
-        if sign > 0:
-            state.add(value)
+        if weight > 0:
+            state.add(value, weight)
         else:
-            state.remove(value)
+            state.remove(value, -weight)
         new = state.current()
         if not state.values:
             del self.groups[group_key]
@@ -213,13 +220,13 @@ class AggregateView:
         return deltas
 
     def apply_many(
-        self, contributions: Iterable[Tuple], sign: int
+        self, contributions: Iterable[Tuple], weight: int
     ) -> List[Tuple[int, Tuple]]:
-        """Apply a chunk of same-signed contributions in order and return
-        the *net* deltas: a group whose value moves ``5 -> 3 -> 2``
-        within the chunk emits ``(-1, head(5)), (+1, head(2))`` with no
-        trace of the intermediate ``3``."""
-        return _net_deltas(self.apply, contributions, sign)
+        """Apply a chunk of uniformly weighted contributions in order
+        and return the *net* deltas: a group whose value moves
+        ``5 -> 3 -> 2`` within the chunk emits ``(-1, head(5)),
+        (+1, head(2))`` with no trace of the intermediate ``3``."""
+        return _net_deltas(self.apply, contributions, weight)
 
     def _head(self, group_key: Tuple, value) -> Tuple:
         info = self.info
@@ -237,17 +244,18 @@ class AggregateView:
         ]
 
 
-def _net_deltas(apply, contributions, sign) -> List[Tuple[int, Tuple]]:
+def _net_deltas(apply, contributions, weight) -> List[Tuple[int, Tuple]]:
     """Run ``apply`` per contribution and collapse the emitted deltas to
-    their per-head net sign (first-seen head order, zeros dropped)."""
+    their per-head net weight (first-seen head order, zeros dropped) --
+    Z-set addition over the view's output."""
     net: Dict[Tuple, int] = {}
     order: List[Tuple] = []
     for contribution in contributions:
-        for delta_sign, head in apply(contribution, sign):
+        for delta_weight, head in apply(contribution, weight):
             if head not in net:
                 net[head] = 0
                 order.append(head)
-            net[head] += delta_sign
+            net[head] += delta_weight
     return [(net[head], head) for head in order if net[head] != 0]
 
 
@@ -296,14 +304,14 @@ class ArgExtremeView:
             value_key = _Rev(value_key)
         return (value_key, order_key(args), args)
 
-    def apply(self, args: Tuple, sign: int) -> List[Tuple[int, Tuple]]:
+    def apply(self, args: Tuple, weight: int) -> List[Tuple[int, Tuple]]:
         group = self._group_of(args)
         members = self.members.setdefault(group, {})
         value = args[self.value_position]
         winner = self.winners.get(group)
-        if sign > 0:
+        if weight > 0:
             count = members.get(args, 0)
-            members[args] = count + 1
+            members[args] = count + weight
             if count == 0:
                 heapq.heappush(
                     self._heaps.setdefault(group, []), self._entry(args)
@@ -315,13 +323,15 @@ class ArgExtremeView:
                 self.winners[group] = args
                 return [(-1, winner), (1, args)]
             return []
-        # Retraction.
+        # Retraction of ``-weight`` derivations.
+        drop = -weight
         current = members.get(args, 0)
-        if current <= 0:
+        if current < drop:
             raise EvaluationError(
-                f"retracting tuple {args!r} never added to arg-{self.func}"
+                f"retracting {drop} derivation(s) of tuple {args!r}; "
+                f"arg-{self.func} group holds {current}"
             )
-        if current == 1:
+        if current == drop:
             del members[args]
             # Any member death strands a heap entry; compact here, not
             # just on witness death -- non-winning alternatives that
@@ -333,7 +343,7 @@ class ArgExtremeView:
                 heapq.heapify(rebuilt)
                 self._heaps[group] = rebuilt
         else:
-            members[args] = current - 1
+            members[args] = current - drop
         if args != winner or args in members:
             return []
         # The witness died: promote the best survivor off the heap.
@@ -354,13 +364,13 @@ class ArgExtremeView:
         return [(-1, args), (1, best)]
 
     def apply_many(
-        self, contributions: Iterable[Tuple], sign: int
+        self, contributions: Iterable[Tuple], weight: int
     ) -> List[Tuple[int, Tuple]]:
         """Batched :meth:`apply`: contributions are applied in order and
         the emitted witness changes are collapsed to their net -- a
         witness displaced and re-promoted within one chunk produces no
         downstream deltas at all."""
-        return _net_deltas(self.apply, contributions, sign)
+        return _net_deltas(self.apply, contributions, weight)
 
     def current_rows(self) -> List[Tuple]:
         return list(self.winners.values())

@@ -14,10 +14,10 @@ PSN's strand/timestamp machinery (PSN "can allow just as much buffering
 as BSN", Section 3.3.2), so correctness follows from the same argument.
 
 ``batch_size > 1`` additionally routes each scheduled iteration through
-PSN's micro-batched commit path (queue-level cancellation, run-batched
-strand firing, netted aggregate views -- see :mod:`repro.engine.psn`),
-which is the natural pairing: BSN already *buffers* bursts, batching
-makes processing them amortized too.
+PSN's micro-batched commit path (Z-set weight netting at the queue,
+run-batched strand firing, weighted aggregate views -- see
+:mod:`repro.engine.psn`), which is the natural pairing: BSN already
+*buffers* bursts, weight addition nets them before processing too.
 """
 
 from __future__ import annotations

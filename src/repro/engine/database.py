@@ -122,6 +122,20 @@ class Database:
         for row in rows:
             table.insert(tuple(row))
 
+    def load_weighted(
+        self, pred: str, entries: Iterable[Tuple[Tuple, int]]
+    ) -> None:
+        """Bulk-load a Z-set: ``(args, weight)`` entries with positive
+        integer weights, stored as derivation counts in one shot."""
+        table = self.table(pred)
+        for row, weight in entries:
+            if weight <= 0:
+                raise SchemaError(
+                    f"load_weighted({pred!r}): weight must be positive, "
+                    f"got {weight!r} for {row!r}"
+                )
+            table.insert(tuple(row), count=weight)
+
     def rows(self, pred: str):
         return self.table(pred).rows()
 

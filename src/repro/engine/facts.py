@@ -1,9 +1,15 @@
 """Fact and delta representations shared by all evaluation engines.
 
-A *fact* is a predicate name plus a tuple of ground values.  A *delta* is
-a signed fact: ``sign=+1`` for insertion, ``sign=-1`` for deletion, as in
-the incremental view-maintenance machinery of Section 4 of the paper
-("an update is treated as a deletion followed by an insertion").
+A *fact* is a predicate name plus a tuple of ground values.  A *delta*
+is a **weighted** fact: facts with integer weights form a Z-set (a
+generalized multiset over the abelian group of integers, as in DBSP),
+and every change is expressed in that algebra -- ``weight=+1`` for an
+insertion, ``-1`` for a deletion, and an update is the pair ``{-1 old,
++1 new}``, exactly the incremental view-maintenance reading of Section
+4 of the paper ("an update is treated as a deletion followed by an
+insertion").  Weights beyond +-1 arise from netting: a batch of changes
+to the same fact collapses to the sum of its weights, so cancellation
+is simply addition.
 
 ``ts`` is the local, monotonically increasing timestamp PSN assigns at
 enqueue time; the join discipline "match only tuples with the same or
@@ -28,8 +34,10 @@ class Fact(NamedTuple):
 
 
 class Delta(NamedTuple):
+    """A weighted fact (one Z-set entry) with its PSN timestamp."""
+
     fact: Fact
-    sign: int
+    weight: int
     ts: int
 
     @property
@@ -40,6 +48,12 @@ class Delta(NamedTuple):
     def args(self) -> Tuple:
         return self.fact.args
 
+    @property
+    def sign(self) -> int:
+        """The weight's sign -- the signed-delta view of this entry
+        (kept for the ``batch_size=1`` reference path and older
+        call sites that only branch on direction)."""
+        return 1 if self.weight > 0 else -1
+
     def __repr__(self) -> str:
-        symbol = "+" if self.sign > 0 else "-"
-        return f"{symbol}{self.fact!r}@{self.ts}"
+        return f"{self.weight:+d} {self.fact!r}@{self.ts}"

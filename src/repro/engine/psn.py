@@ -1,12 +1,16 @@
 """Pipelined semi-naive (PSN) evaluation -- Algorithm 3 of the paper --
 extended with the incremental view-maintenance machinery of Section 4.
 
-Every change is a signed delta on a FIFO queue:
+Every change is a **weighted delta** (a Z-set entry: fact plus integer
+weight, insert ``+1`` / delete ``-1``) on a FIFO queue:
 
 * base-table insertions, deletions and updates (update = deletion
   followed by insertion, realized by primary-key replacement);
 * derived-tuple insertions/deletions produced by rule strands;
-* aggregate-value changes emitted by the incremental aggregate views.
+* aggregate-value changes emitted by the incremental aggregate views;
+* bulk intents whose weight magnitude exceeds 1 (seeded multiplicities,
+  a dead peer's netted contributions), which commit as one weighted
+  count adjustment instead of a run of unit deltas.
 
 **Commit discipline.**  The queue is purely event-sourced: table state
 is mutated only when a delta is *processed* (dequeued), never when it is
@@ -45,38 +49,50 @@ path for baseline comparisons (``benchmarks/bench_join_plans.py``).
 drained in chunks instead of one delta at a time (Section 4's "bursty
 updates" processed as bursts):
 
-1. *Cancellation at the queue* -- the count algorithm of [Gupta et
-   al. 93] applied before any table or strand work: within a chunk, a
-   deletion intent annihilates a matching insertion intent that
-   precedes it.  Cancellation is restricted to cases where it is
-   provably equivalent to sequential processing: both intents must
-   target the *same* tuple, nothing else in the chunk (nor the stored
-   row) may occupy that tuple's primary key (replacement is
-   destructive, so netting across it is unsound), forced deletions
-   never cancel, and soft-state tables are exempt (a re-insertion is a
-   TTL refresh that must stay observable).
-2. *Run batching* -- surviving intents are split into maximal runs of
-   one (predicate, sign), each run is committed to the table in order,
-   and every strand of that predicate then fires **once per run** with
-   the list of driving facts, amortizing strand lookup, driver-step
-   seeding and inference bookkeeping.  Run batching applies only to
-   predicates with no self-join strands (no rule both driven by and
-   joining against the same predicate); for those, commit-then-fire is
-   join-for-join identical to sequential processing because a run
-   never touches its own partner tables.  Self-join predicates,
-   forced deletions and (in the distributed runtime) cache-intercepted
-   query predicates fall back to the per-delta reference path
-   mid-chunk.
+1. *Weight netting at the queue* -- Z-set addition applied before any
+   table or strand work: within a chunk, the intents on one primary-key
+   slot collapse to a single intent carrying the sum of their weights,
+   and a zero sum vanishes outright.  Cancellation is not a special
+   case -- it is the group law.  Folding is restricted to slots where
+   it is provably equivalent to sequential replay: every chunk intent
+   on the slot must target one identical tuple, none may be forced or
+   a deferred restore (primary-key replacement and forced deletion are
+   assignments, not group elements, so weights must not flow across
+   them), the table must not be soft-state (a re-insertion is a TTL
+   refresh that must stay observable), the stored row under the key --
+   if any -- must be that same tuple, and no prefix of the slot's
+   intents may sum negative (stored counts floor at zero, so an early
+   withdrawal is sequentially a decrement *or* a no-op, which addition
+   cannot predict).  Within that envelope, committing the summed
+   weight is *exactly* the sequential outcome: duplicate insertions
+   are one count bump of ``+w``, deletions one decrement, and the
+   visibility transition (strand firing) happens at most once either
+   way.  Every other intent replays in its original position.
+2. *Run batching* -- surviving weighted intents are split into maximal
+   runs of one (predicate, direction), each run is committed to the
+   table in order, and every strand of that predicate then fires
+   **once per run** with the list of driving facts, amortizing strand
+   lookup, driver-step seeding and inference bookkeeping.  Run
+   batching applies only to predicates with no self-join strands (no
+   rule both driven by and joining against the same predicate); for
+   those, commit-then-fire is join-for-join identical to sequential
+   processing because a run never touches its own partner tables.
+   Self-join predicates, forced deletions and (in the distributed
+   runtime) cache-intercepted query predicates fall back to the
+   per-delta reference path mid-chunk.
 3. *Aggregate netting* -- a batched strand firing feeds its aggregate
    or arg-extreme view through ``apply_many``, which emits only the
    net group-value change for the chunk.
 
 ``batch_size=1`` (the default) is the reference path and reproduces
 the historical commit order exactly.  Batching may change the
-*intermediate* delta traffic (cancelled pairs never commit, netted
+*intermediate* delta traffic (zero-weight runs never commit, netted
 aggregates skip transient values) but never the fixpoint or the final
-derivation counts -- ``tests/test_batching.py`` holds both paths to
-that, and ``benchmarks/bench_delta_pipeline.py`` measures the win.
+derivation counts -- ``tests/test_batching.py`` and
+``tests/test_zset.py`` hold both paths to that, and
+``benchmarks/bench_zset.py`` measures the win over both the per-delta
+path and PR 2's guard-based cancellation.
+
 """
 
 from __future__ import annotations
@@ -106,18 +122,25 @@ DEFAULT_MAX_STEPS = 20_000_000
 
 
 class QueuedDelta(NamedTuple):
-    """An intent on the queue; ``force`` removes a fact regardless of its
-    derivation count (external base deletions, pkey replacement).
-    ``restore`` is a deferred fallback check on the fact's keyed slot:
-    it re-materializes the latest shadowed version only if the slot is
-    still empty when the intent is processed (a replacement already in
-    flight fills it first, so transient ``-old/+new`` update pairs do
-    not churn through stale versions)."""
+    """An intent on the queue: one Z-set entry, ``weight`` derivations
+    of ``fact`` asserted (``> 0``) or withdrawn (``< 0``).  ``force``
+    removes a fact regardless of its derivation count (external base
+    deletions, pkey replacement) -- an *assignment*, outside the weight
+    algebra, so forced intents never net.  ``restore`` is a deferred
+    fallback check on the fact's keyed slot: it re-materializes the
+    latest shadowed version only if the slot is still empty when the
+    intent is processed (a replacement already in flight fills it
+    first, so transient ``-old/+new`` update pairs do not churn through
+    stale versions)."""
 
     fact: Fact
-    sign: int
+    weight: int
     force: bool = False
     restore: bool = False
+
+    @property
+    def sign(self) -> int:
+        return 1 if self.weight > 0 else -1
 
 
 class Strand:
@@ -311,13 +334,18 @@ class PSNEngine:
     # ------------------------------------------------------------------
     # Derivation sink (strand outputs and external inserts)
     # ------------------------------------------------------------------
-    def derive(self, fact: Fact, sign: int) -> None:
-        """Queue a signed derivation.  Purely event-sourced: no table
-        state is consulted or mutated here, so intents are interpreted at
-        processing time against exactly the prefix of changes that
-        precede them (this is what makes interleaved insert/delete bursts
-        of Section 4 confluent)."""
-        self._enqueue(QueuedDelta(fact, 1 if sign > 0 else -1))
+    def derive(self, fact: Fact, weight: int) -> None:
+        """Queue a weighted derivation (any nonzero integer; zero is a
+        no-op).  Purely event-sourced: no table state is consulted or
+        mutated here, so intents are interpreted at processing time
+        against exactly the prefix of changes that precede them (this is
+        what makes interleaved insert/delete bursts of Section 4
+        confluent).  Strand firings always carry ``+-1`` (a visibility
+        transition); larger magnitudes arrive from seeding, dead-peer
+        invalidation and netted remote batches."""
+        weight = int(weight)
+        if weight:
+            self._enqueue(QueuedDelta(fact, weight))
 
     # ------------------------------------------------------------------
     # Fixpoint driving
@@ -347,10 +375,9 @@ class PSNEngine:
                 count = table.count(args)
                 table.force_delete(args)
                 fact = Fact(table.name, args)
-                for _ in range(count):
-                    if provenance is not None:
-                        provenance.base(fact, 1)
-                    self._enqueue(QueuedDelta(fact, 1))
+                if provenance is not None:
+                    provenance.base(fact, count)
+                self._enqueue(QueuedDelta(fact, count))
 
     def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
         """Process queued deltas until quiescent; returns steps taken.
@@ -435,10 +462,10 @@ class PSNEngine:
         self.steps += 1
         if delta.restore:
             self._commit_restore(delta.fact)
-        elif delta.sign > 0:
-            self._commit_insert(delta.fact)
+        elif delta.weight > 0:
+            self._commit_insert(delta.fact, delta.weight)
         else:
-            self._commit_delete(delta.fact, force=delta.force)
+            self._commit_delete(delta.fact, -delta.weight, force=delta.force)
 
     # ------------------------------------------------------------------
     # Micro-batched processing (batch_size > 1)
@@ -454,19 +481,19 @@ class PSNEngine:
             return count
         chunk = [queue.popleft() for _ in range(count)]
         self.steps += count
-        # A cancellable pair needs a non-forced insert *and* a
-        # non-forced delete in the same chunk; all-refresh or all-expiry
-        # bursts skip the grouping scan outright.
+        # Netting can only change anything when the chunk mixes
+        # directions; all-refresh or all-expiry bursts skip the scan
+        # outright (and keep their per-intent TTL refreshes).
         has_plus = has_minus = False
         for delta in chunk:
             if delta.force or delta.restore:
                 continue
-            if delta.sign > 0:
+            if delta.weight > 0:
                 has_plus = True
             else:
                 has_minus = True
         survivors = (
-            self._cancel_chunk(chunk) if has_plus and has_minus else chunk
+            self._net_chunk(chunk) if has_plus and has_minus else chunk
         )
         unbatchable = self._unbatchable
         index = 0
@@ -474,115 +501,137 @@ class PSNEngine:
         while index < end:
             delta = survivors[index]
             pred = delta.fact.pred
-            sign = delta.sign
+            plus = delta.weight > 0
             if delta.restore:
                 self._commit_restore(delta.fact)
                 index += 1
                 continue
             if delta.force or pred in unbatchable:
-                if sign > 0:
-                    self._commit_insert(delta.fact)
+                if plus:
+                    self._commit_insert(delta.fact, delta.weight)
                 else:
-                    self._commit_delete(delta.fact, force=delta.force)
+                    self._commit_delete(delta.fact, -delta.weight,
+                                        force=delta.force)
                 index += 1
                 continue
             stop = index + 1
             while stop < end:
                 nxt = survivors[stop]
-                if (nxt.force or nxt.restore or nxt.sign != sign
+                if (nxt.force or nxt.restore
+                        or (nxt.weight > 0) != plus
                         or nxt.fact.pred != pred):
                     break
                 stop += 1
             if stop - index == 1:
-                if sign > 0:
-                    self._commit_insert(delta.fact)
+                if plus:
+                    self._commit_insert(delta.fact, delta.weight)
                 else:
-                    self._commit_delete(delta.fact)
+                    self._commit_delete(delta.fact, -delta.weight)
             else:
-                run = [survivors[i].fact for i in range(index, stop)]
-                if sign > 0:
+                if plus:
+                    run = [(survivors[i].fact, survivors[i].weight)
+                           for i in range(index, stop)]
                     self._commit_insert_run(run)
                 else:
+                    run = [(survivors[i].fact, -survivors[i].weight)
+                           for i in range(index, stop)]
                     self._commit_delete_run(run)
             index = stop
         return count
 
-    def _cancel_chunk(self, chunk: List[QueuedDelta]) -> List[QueuedDelta]:
-        """Annihilate matching +/- intents on the same fact before any
-        table or strand work -- [Gupta et al. 93]'s count algorithm
-        applied at the queue.
+    def _net_chunk(self, chunk: List[QueuedDelta]) -> List[QueuedDelta]:
+        """Net the chunk by Z-set addition before any table or strand
+        work -- [Gupta et al. 93]'s count algorithm as a group law.
 
-        A deletion cancels the nearest *preceding* un-cancelled
-        insertion of the same fact (a minus with no plus before it must
-        still reach the table: against the store it may be a decrement
-        or a no-op, which netting cannot predict).  A (pred, pkey) group
-        is eligible only when every chunk intent on that key targets
-        one identical tuple, none is forced, the table is not
-        soft-state, and the stored row under the key (if any) is that
-        same tuple -- primary-key replacement is destructive, so
-        cancelling across it would resurrect superseded rows.
-        """
+        Weights fold per primary-key *slot*, and only when folding is
+        provably equivalent to sequential processing: every chunk
+        intent on the slot must target one identical tuple (replacement
+        and forced deletion are assignments, not group elements, so
+        weights must not flow across them), none may be forced or a
+        deferred restore, the table must not be soft-state (a
+        re-insertion is a TTL refresh that must stay observable), and
+        the stored row under the key -- if any -- must be that same
+        tuple.  Stored counts floor at zero, so the folded weight also
+        requires that no prefix of the slot's intents sums negative:
+        sequentially those early withdrawals are a decrement *or* a
+        floored no-op, which addition cannot predict.
+
+        An eligible slot netting to zero annihilates outright (the
+        sequential wave/unwave pairs end exactly where they started); a
+        positive net commits as one weighted delta in the slot's first
+        position.  Everything else replays intent-by-intent in original
+        order."""
         table_of = self.db.table
+        # slot -> [args, eligible, positions, folded-weight-or-None]
         groups: Dict[Tuple[str, Tuple], List] = {}
-        order: List[Tuple[str, Tuple]] = []
+        slots: List[Tuple[str, Tuple]] = []
         for position, delta in enumerate(chunk):
             fact = delta.fact
             table = table_of(fact.pred)
-            group_key = (fact.pred, table.key_of(fact.args))
-            group = groups.get(group_key)
+            slot = (fact.pred, table.key_of(fact.args))
+            slots.append(slot)
+            group = groups.get(slot)
             if group is None:
-                # [args, eligible, positions]
-                groups[group_key] = group = [
-                    fact.args, not (delta.force or delta.restore), []
+                groups[slot] = [
+                    fact.args,
+                    not (delta.force or delta.restore)
+                    and table.lifetime == INFINITY,
+                    [position],
+                    None,
                 ]
-                order.append(group_key)
-            elif group[0] != fact.args or delta.force or delta.restore:
-                group[1] = False
-            group[2].append(position)
-        dropped: set = set()
-        for group_key in order:
-            args, eligible, positions = groups[group_key]
+            else:
+                if delta.force or delta.restore or group[0] != fact.args:
+                    group[1] = False
+                group[2].append(position)
+        for slot, group in groups.items():
+            args, eligible, positions, _ = group
             if not eligible or len(positions) < 2:
                 continue
-            pred, key = group_key
-            table = table_of(pred)
-            if table.lifetime != INFINITY:
+            weight = low = 0
+            for position in positions:
+                weight += chunk[position].weight
+                if weight < low:
+                    low = weight
+            if low < 0:
                 continue
-            stored = table.get_by_key(key)
+            table = table_of(slot[0])
+            stored = table.get_by_key(slot[1])
             if stored is not None and stored != args:
                 continue
-            pending: List[int] = []
-            for position in positions:
-                if chunk[position].sign > 0:
-                    pending.append(position)
-                elif pending:
-                    dropped.add(pending.pop())
-                    dropped.add(position)
-        if not dropped:
-            return chunk
-        self.cancelled += len(dropped)
-        return [
-            delta for position, delta in enumerate(chunk)
-            if position not in dropped
-        ]
+            group[3] = weight
+        survivors: List[QueuedDelta] = []
+        netted = 0
+        for position, delta in enumerate(chunk):
+            group = groups[slots[position]]
+            weight = group[3]
+            if weight is None:
+                survivors.append(delta)
+            elif weight == 0:
+                netted += 1
+            elif position == group[2][0]:
+                netted += len(group[2]) - 1
+                survivors.append(QueuedDelta(delta.fact, weight))
+        self.cancelled += netted
+        return survivors
 
-    def _commit_insert_run(self, facts: List[Fact]) -> None:
-        """Commit a run of same-predicate insertions, then fire each
-        strand once with the freshly visible facts.  Join-for-join
+    def _commit_insert_run(self, items: List[Tuple[Fact, int]]) -> None:
+        """Commit a run of same-predicate weighted insertions, then fire
+        each strand once with the freshly visible facts.  Join-for-join
         identical to sequential processing: the predicate has no
         self-join strands (checked by the caller), so the deferred
         firings read partner tables this run never touches."""
-        table = self.db.table(facts[0].pred)
+        table = self.db.table(items[0][0].pred)
         on_commit = self.on_commit
         soft = table.lifetime != INFINITY
         pending: List[Fact] = []
-        for fact in facts:
+        for fact, weight in items:
             args = fact.args
             if args in table:
-                # Duplicate derivation: count bump + timestamp refresh
-                # (observable only for soft-state TTL consumers).
+                # More derivations of a visible fact: one count bump of
+                # the whole weight + timestamp refresh (observable only
+                # for soft-state TTL consumers, and as one refresh).
                 self.clock += 1
-                table.insert(args, ts=self.clock)
+                table.insert(args, ts=self.clock, count=weight)
                 if soft and on_commit is not None:
                     on_commit(fact, 1)
                 continue
@@ -600,7 +649,7 @@ class PSNEngine:
                 else:
                     self._retract_visible(Fact(fact.pred, old))
             self.clock += 1
-            table.insert(args, ts=self.clock)
+            table.insert(args, ts=self.clock, count=weight)
             if table.fallback:
                 table.absorb_shadow(args)
             if on_commit is not None:
@@ -609,45 +658,52 @@ class PSNEngine:
         if pending:
             self._fire_strands_batch(pending, 1)
 
-    def _commit_delete_run(self, facts: List[Fact]) -> None:
-        """Commit a run of same-predicate (non-forced) deletions, then
-        fire each strand once with the retracted facts.  Removing the
-        tuples up front reproduces the sequential visibility rule ("a
-        co-participant deleted later no longer sees it") because the
-        run's facts never appear in each other's partner tables."""
-        table = self.db.table(facts[0].pred)
+    def _commit_delete_run(self, items: List[Tuple[Fact, int]]) -> None:
+        """Commit a run of same-predicate (non-forced) weighted
+        deletions -- ``count`` derivations withdrawn per fact -- then
+        fire each strand once with the facts that lost visibility.
+        Removing the tuples up front reproduces the sequential
+        visibility rule ("a co-participant deleted later no longer sees
+        it") because the run's facts never appear in each other's
+        partner tables."""
+        table = self.db.table(items[0][0].pred)
         on_commit = self.on_commit
         pending: List[Fact] = []
-        for fact in facts:
+        for fact, count in items:
             current = table.count(fact.args)
             if current <= 0:
                 # Superseded, never committed, or already gone; on a
                 # fallback table this may withdraw a shadowed version.
                 if table.fallback:
-                    table.shadow_discard(fact.args)
+                    table.shadow_discard(fact.args, count)
                 continue
-            if current > 1:
-                table.delete(fact.args)
+            if current > count:
+                table.delete(fact.args, count)
                 continue
             if on_commit is not None:
                 on_commit(fact, -1)
             if self.provenance is not None:
                 self.provenance.retracted(fact)
             table.force_delete(fact.args)
+            if table.fallback and count > current:
+                # Surplus weight beyond the visible count withdraws
+                # shadowed copies (see :meth:`_commit_delete`).
+                table.shadow_discard(fact.args, count - current)
             pending.append(fact)
         if pending:
             self._fire_strands_batch(pending, -1)
 
-    def _commit_insert(self, fact: Fact) -> None:
+    def _commit_insert(self, fact: Fact, weight: int = 1) -> None:
         table = self.db.table(fact.pred)
         if fact.args in table:
-            # Another derivation of a visible fact: bump its count and
-            # refresh its timestamp to the current clock.  For soft-state
-            # tables (finite lifetime) the re-insertion is a *refresh*
-            # and must reach the TTL observer (Section 4.2: "facts must
-            # be explicitly reinserted ... with a new TTL").
+            # More derivations of a visible fact: bump its count by the
+            # whole weight and refresh its timestamp to the current
+            # clock.  For soft-state tables (finite lifetime) the
+            # re-insertion is a *refresh* and must reach the TTL
+            # observer (Section 4.2: "facts must be explicitly
+            # reinserted ... with a new TTL").
             self.clock += 1
-            table.insert(fact.args, ts=self.clock)
+            table.insert(fact.args, ts=self.clock, count=weight)
             if table.lifetime != INFINITY and self.on_commit is not None:
                 self.on_commit(fact, 1)
             return
@@ -659,14 +715,15 @@ class PSNEngine:
             else:
                 self._retract_visible(Fact(fact.pred, old))
         self.clock += 1
-        table.insert(fact.args, ts=self.clock)
+        table.insert(fact.args, ts=self.clock, count=weight)
         if table.fallback:
             table.absorb_shadow(fact.args)
         if self.on_commit is not None:
             self.on_commit(fact, 1)
         self._fire_strands(fact, 1)
 
-    def _commit_delete(self, fact: Fact, force: bool = False) -> None:
+    def _commit_delete(self, fact: Fact, count: int = 1,
+                       force: bool = False) -> None:
         table = self.db.table(fact.pred)
         current = table.count(fact.args)
         if current <= 0:
@@ -676,16 +733,23 @@ class PSNEngine:
             # no longer) current, so it must stop being a restore
             # candidate.
             if table.fallback:
-                table.shadow_discard(fact.args)
+                table.shadow_discard(fact.args, count)
             return
-        if current > 1 and not force:
-            table.delete(fact.args)
+        if current > count and not force:
+            table.delete(fact.args, count)
             return
         self._retract_visible(fact)
         if force and table.fallback:
             # A forced delete wipes the slot outright (base-table
             # semantics: superseded values never resurrect).
             table.clear_shadow(table.key_of(fact.args))
+        elif table.fallback and count > current:
+            # The withdrawal outweighs the visible count: the excess
+            # targets shadowed copies of the same advertisement (e.g. a
+            # dead peer's netted contributions), which must stop being
+            # restore candidates -- exactly what the surplus unit
+            # minuses did one at a time.
+            table.shadow_discard(fact.args, count - current)
 
     def _retract_visible(self, fact: Fact) -> None:
         """Remove a visible fact: run its deletion strands while it is

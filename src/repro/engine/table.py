@@ -12,9 +12,16 @@ Semantics follow P2 (Section 2 of the paper):
   count algorithm of [Gupta et al. 93], used in Section 4); a tuple is
   only removed when its count drops to zero.
 
+Storage is multiplicity-aware throughout: a table is a Z-set whose
+entries are the stored tuples with positive integer weights (the
+derivation counts), and a tuple is *visible* exactly while its weight
+is positive.  :meth:`insert` and :meth:`delete` take a ``count`` so a
+netted weighted delta commits as one arithmetic adjustment rather than
+a run of unit bumps.
+
 Mutating methods return the list of externally visible deltas
-(``(sign, args)`` pairs), which is exactly what the semi-naive engines
-propagate.
+(``(sign, args)`` pairs) -- visibility *transitions*, always weight
+``+-1`` -- which is exactly what the semi-naive engines propagate.
 """
 
 from __future__ import annotations

@@ -135,6 +135,13 @@ def format_fact(fact) -> str:
     return f"{fact.pred}({', '.join(_safe_value(v) for v in fact.args)})"
 
 
+def format_delta(delta) -> str:
+    """Render a weighted :class:`~repro.engine.facts.Delta` as
+    ``+2 pred(v1, ...)@ts`` -- the Z-set reading: the fact, the signed
+    multiplicity it contributes, and the logical timestamp."""
+    return f"{delta.weight:+d} {format_fact(delta.fact)}@{delta.ts}"
+
+
 def format_derivation(tree, indent: str = "") -> str:
     """Render a :class:`~repro.provenance.query.DerivationTree` as an
     indented proof tree.

@@ -80,13 +80,14 @@ def _decode_value(value):
 
 
 def encode_message(message: Message) -> bytes:
-    # Each delta is [pred, sign, args] with an optional 4th element: the
-    # provenance tag of the producing derivation (omitted when absent,
-    # so provenance-off runs keep the historical wire layout byte for
-    # byte).
+    # Each delta is [pred, weight, args] with an optional 4th element:
+    # the provenance tag of the producing derivation (omitted when
+    # absent).  Weight occupies the slot the old format used for the
+    # sign, and unit deltas encode identically under both readings, so
+    # frames from pre-weight senders decode natively (weight = sign).
     deltas = []
     for delta in message.deltas:
-        entry = [delta.pred, delta.sign,
+        entry = [delta.pred, delta.weight,
                  [_encode_value(arg) for arg in delta.args]]
         if delta.prov is not None:
             entry.append(delta.prov)
@@ -114,19 +115,31 @@ def decode_message(data: bytes) -> Message:
     ``JSONDecodeError`` / ``UnicodeDecodeError``), so receive paths can
     absorb garbage with one taxonomy-stable except clause instead of
     dying inside ``datagram_received``.
+
+    Weights: slot 1 of each delta entry is the Z-set weight.  Frames
+    from pre-weight senders carried the sign there, which reads
+    verbatim as a unit weight, so both formats decode through the same
+    path.  A zero or non-integer weight has no Z-set meaning and is
+    rejected as malformed (counted in ``malformed_dropped``).
     """
     try:
         raw = json.loads(data.decode("utf-8"))
-        deltas = tuple(
-            NetDelta(
+        deltas = []
+        for entry in raw["t"]:
+            weight = entry[1]
+            if weight == 0 or isinstance(weight, bool) \
+                    or not isinstance(weight, int):
+                raise NetworkError(
+                    f"malformed wire delta weight {weight!r} "
+                    f"for {entry[0]!r}"
+                )
+            deltas.append(NetDelta(
                 entry[0],
                 tuple(_decode_value(arg) for arg in entry[2]),
-                entry[1],
+                weight,
                 entry[3] if len(entry) > 3 else None,
-            )
-            for entry in raw["t"]
-        )
-        message = Message(src=raw["s"], dst=raw["d"], deltas=deltas,
+            ))
+        message = Message(src=raw["s"], dst=raw["d"], deltas=tuple(deltas),
                           shared_bytes=raw["h"],
                           seq=raw.get("q"), ack=raw.get("a"))
     except NetworkError:

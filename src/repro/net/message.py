@@ -10,7 +10,7 @@ cost more to ship), which this model captures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ndlog.terms import ConstructedTuple
 
@@ -42,7 +42,11 @@ def tuple_size(pred: str, args: Tuple) -> int:
 
 @dataclass(frozen=True)
 class NetDelta:
-    """One signed tuple as shipped over a link.
+    """One weighted tuple (a Z-set entry) as shipped over a link:
+    ``weight`` derivations of ``(pred, args)`` asserted (``> 0``) or
+    withdrawn (``< 0``).  The historical unit deltas are the ``+-1``
+    special case, and :attr:`sign` keeps the direction-only view for
+    call sites that branch on it.
 
     ``prov`` is an optional provenance tag: the derivation id (in the
     deployment's shared provenance store) of the rule firing that
@@ -53,8 +57,12 @@ class NetDelta:
 
     pred: str
     args: Tuple
-    sign: int
+    weight: int
     prov: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def sign(self) -> int:
+        return 1 if self.weight > 0 else -1
 
     def payload_size(self) -> int:
         # Cached: the fields are frozen, and the size walk recurses
@@ -111,5 +119,30 @@ class Message:
         return size
 
 
-def single(src: str, dst: str, pred: str, args: Tuple, sign: int) -> Message:
-    return Message(src=src, dst=dst, deltas=(NetDelta(pred, args, sign),))
+def coalesce(deltas: Iterable[NetDelta]) -> Tuple[NetDelta, ...]:
+    """Net a delta stream by Z-set addition: same-``(pred, args)``
+    entries merge into one carrying the summed weight (first-seen
+    order, zero sums dropped, latest non-``None`` provenance tag kept).
+    Applied per message before send, so a link flap buffered within one
+    flush interval ships nothing at all."""
+    net: Dict[Tuple[str, Tuple], List] = {}
+    order: List[Tuple[str, Tuple]] = []
+    for delta in deltas:
+        key = (delta.pred, delta.args)
+        entry = net.get(key)
+        if entry is None:
+            net[key] = [delta.weight, delta.prov]
+            order.append(key)
+        else:
+            entry[0] += delta.weight
+            if delta.prov is not None:
+                entry[1] = delta.prov
+    return tuple(
+        NetDelta(pred, args, net[(pred, args)][0], net[(pred, args)][1])
+        for pred, args in order
+        if net[(pred, args)][0] != 0
+    )
+
+
+def single(src: str, dst: str, pred: str, args: Tuple, weight: int) -> Message:
+    return Message(src=src, dst=dst, deltas=(NetDelta(pred, args, weight),))

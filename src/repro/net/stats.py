@@ -36,6 +36,11 @@ class TrafficStats:
     #: datagrams that arrived with no send on the books.
     malformed_dropped: int = 0
     stray_datagrams: int = 0
+    #: Z-set wire accounting: weighted NetDeltas that actually went on a
+    #: link, and buffered deltas that were annihilated (or merged away)
+    #: by per-message weight coalescing before the send.
+    netdeltas_shipped: int = 0
+    netdeltas_coalesced: int = 0
     #: Chaos harness: applied faults by kind.
     faults_injected: Dict[str, int] = field(default_factory=dict)
 

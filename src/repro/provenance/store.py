@@ -181,20 +181,25 @@ class ProvenanceStore:
         rec.count -= 1
         return rec.id
 
-    def record_base(self, fact: Fact, sign: int, node: Optional[str] = None,
+    def record_base(self, fact: Fact, weight: int, node: Optional[str] = None,
                     time: float = 0.0) -> None:
-        """Record an external base-table insert (+1) or delete (-1)."""
+        """Record an external base-table change as a Z-set weight:
+        ``+w`` base insertions or ``-w`` deletions in one event (a
+        seeded multiplicity arrives as a single weighted call).  The
+        live count clamps at zero; the shortfall is floored exactly as
+        the unit path floored each over-delete."""
         self.events += 1
         fid = self.intern(fact)
-        if sign > 0:
-            self._base[fid] = self._base.get(fid, 0) + 1
-            self._base_total[fid] = self._base_total.get(fid, 0) + 1
+        if weight > 0:
+            self._base[fid] = self._base.get(fid, 0) + weight
+            self._base_total[fid] = self._base_total.get(fid, 0) + weight
         else:
+            need = -weight
             live = self._base.get(fid, 0)
-            if live <= 0:
-                self.floored += 1
-                return
-            self._base[fid] = live - 1
+            take = min(live, need)
+            self.floored += need - take
+            if take:
+                self._base[fid] = live - take
 
     def retract_fact(self, fact: Fact) -> None:
         """Kill all live support for ``fact`` (replacement / forced
@@ -370,8 +375,8 @@ class ProvenanceRecorder:
         return self.store.record(rule, head, body, sign, node=self.node,
                                  time=self.now())
 
-    def base(self, fact: Fact, sign: int) -> None:
-        self.store.record_base(fact, sign, node=self.node, time=self.now())
+    def base(self, fact: Fact, weight: int) -> None:
+        self.store.record_base(fact, weight, node=self.node, time=self.now())
 
     def retracted(self, fact: Fact) -> None:
         self.store.retract_fact(fact)

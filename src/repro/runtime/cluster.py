@@ -183,9 +183,9 @@ class Cluster:
         key = (a, b) if a <= b else (b, a)
         return self._channels.get(key)
 
-    def ship(self, src: str, dst: str, pred: str, args: Tuple, sign: int,
+    def ship(self, src: str, dst: str, pred: str, args: Tuple, weight: int,
              prov: Optional[int] = None) -> None:
-        self.transport.send(src, dst, pred, args, sign, prov=prov)
+        self.transport.send(src, dst, pred, args, weight, prov=prov)
 
     def deliver(self, message: Message) -> None:
         """Channel arrival: chaos delivery guard, then the reliable
@@ -205,7 +205,7 @@ class Cluster:
         if node is None:
             raise NetworkError(f"message to unknown node {message.dst}")
         for delta in message.deltas:
-            node.receive(delta.pred, delta.args, delta.sign,
+            node.receive(delta.pred, delta.args, delta.weight,
                          prov=delta.prov, origin=message.src)
 
     def clock_for(self, node: str):

@@ -140,7 +140,7 @@ class LiveCluster(Cluster):
                 return
             try:
                 for delta in message.deltas:
-                    node.receive(delta.pred, delta.args, delta.sign,
+                    node.receive(delta.pred, delta.args, delta.weight,
                                  prov=delta.prov, origin=message.src)
             except BaseException as exc:  # noqa: BLE001 -- surfaced at stop
                 self._task_failures.append((name, exc))

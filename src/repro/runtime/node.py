@@ -133,38 +133,43 @@ class NodeRuntime(PSNEngine):
     # ------------------------------------------------------------------
     # Network interface
     # ------------------------------------------------------------------
-    def receive(self, pred: str, args: Tuple, sign: int,
+    def receive(self, pred: str, args: Tuple, weight: int,
                 prov: Optional[int] = None,
                 origin: Optional[str] = None) -> None:
-        """A tuple arrived over a link: enqueue it like a local delta
-        ("a timestamp is added to each tuple at arrival", Section 3.3.2
-        -- in our commit discipline the arrival order itself is the
-        timestamp).  ``prov`` is the piggybacked derivation id from the
-        producing node, noted on the shared store so the arrival is
-        traceable even across a real (UDP) wire; ``origin`` is the
-        sending neighbor, booked on the peer ledger when the watchdog
-        may later need to invalidate that neighbor's contributions."""
+        """A weighted tuple arrived over a link: enqueue it like a local
+        delta ("a timestamp is added to each tuple at arrival", Section
+        3.3.2 -- in our commit discipline the arrival order itself is
+        the timestamp).  ``weight`` is the Z-set weight off the wire
+        (``+-1`` per visibility transition; larger magnitudes when the
+        sender coalesced a window).  ``prov`` is the piggybacked
+        derivation id from the producing node, noted on the shared
+        store so the arrival is traceable even across a real (UDP)
+        wire; ``origin`` is the sending neighbor, booked on the peer
+        ledger when the watchdog may later need to invalidate that
+        neighbor's contributions."""
         fact = Fact(pred, tuple(args))
         if origin is not None and self.cluster.config.reliable:
             ledger = self.peer_ledger.setdefault(origin, {})
-            count = ledger.get(fact, 0) + sign
+            count = ledger.get(fact, 0) + weight
             if count:
                 ledger[fact] = count
             else:
                 ledger.pop(fact, None)
-        if prov is not None and self.provenance is not None and sign > 0:
+        if prov is not None and self.provenance is not None and weight > 0:
             self.provenance.arrival(fact, prov)
-        self.derive(fact, sign)
+        self.derive(fact, weight)
 
     def invalidate_peer(self, peer: str) -> None:
         """Watchdog support: retract every net contribution ``peer``
         shipped here, as if the dead neighbor had withdrawn its
         advertisements itself (the deletion cascade then propagates
-        among the survivors normally)."""
+        among the survivors normally).  Each fact's net count withdraws
+        as one weighted intent -- the Z-set representation's payoff:
+        the dead peer's whole ledger is a handful of bulk deltas."""
         ledger = self.peer_ledger.pop(peer, {})
         for fact, count in ledger.items():
-            for _ in range(max(0, count)):
-                self.derive(fact, -1)
+            if count > 0:
+                self.derive(fact, -count)
 
     def _emit(self, crule: CompiledRule, head: Tuple, sign: int) -> None:
         pred = crule.head.pred

@@ -20,6 +20,7 @@ from repro.net.message import (
     DELTA_HEADER_BYTES,
     Message,
     NetDelta,
+    coalesce,
     value_size,
 )
 from repro.net.reliable import Flow, FlowTable
@@ -62,9 +63,11 @@ class Transport:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def send(self, src: str, dst: str, pred: str, args: Tuple, sign: int,
+    def send(self, src: str, dst: str, pred: str, args: Tuple, weight: int,
              prov=None) -> None:
-        delta = NetDelta(pred, tuple(args), sign, prov)
+        if not weight:
+            return  # a zero-weight Z-set entry is no change at all
+        delta = NetDelta(pred, tuple(args), weight, prov)
         delay = self.config.buffer_interval or self.config.share_delay
         if not delay:
             self._transmit(src, dst, (delta,))
@@ -85,6 +88,13 @@ class Transport:
         if not deltas:
             return
         src, dst = key
+        # Z-set coalescing first: same-fact weights in the window sum,
+        # so a link flap buffered whole ships nothing.  Runs before the
+        # per-pkey net-change pass, which reasons about *slots* and
+        # assumes one net intent per fact.
+        before = len(deltas)
+        deltas = list(coalesce(deltas))
+        self.cluster.stats.netdeltas_coalesced += before - len(deltas)
         if self.config.buffer_interval:
             deltas = self._net_change(key, deltas)
         if not deltas:
@@ -176,8 +186,9 @@ class Transport:
         self._send(channel, message)
 
     def _send(self, channel, message: Message) -> None:
-        self.cluster.stats.record(self.cluster.clock.now, message.src,
-                                  message.size)
+        stats = self.cluster.stats
+        stats.netdeltas_shipped += len(message.deltas)
+        stats.record(self.cluster.clock.now, message.src, message.size)
         channel.transmit(
             self.cluster.clock, message, self.cluster.deliver,
             rng=self.cluster.loss_rng,

@@ -63,6 +63,30 @@ class LinkUpdateDriver:
         self.bursts.append(record)
         return record
 
+    def flap_burst(self, cycles: int = 1) -> BurstRecord:
+        """Announce/withdraw a random absent link ``cycles`` times at
+        both endpoints, as weighted transient intents.
+
+        Each cycle enqueues a ``+1`` and a ``-1`` intent for the same
+        link tuple through the node's cpu-batch commit path; under the
+        Z-set queue the whole flap nets to weight zero before any strand
+        fires, so a storm of flaps costs O(1) table work per chunk
+        instead of O(cycles) insert/delete churn."""
+        from repro.engine.facts import Fact
+
+        record = BurstRecord(time=self.cluster.clock.now)
+        links = sorted(self.costs)
+        a, b = links[self.rng.randrange(len(links))]
+        cost = float(self.rng.randint(10, 99))  # distinct from any stored row
+        for _ in range(max(1, cycles)):
+            for src, dst in ((a, b), (b, a)):
+                node = self.cluster.nodes[src]
+                node.derive(Fact(self.pred, (src, dst, cost)), 1)
+                node.derive(Fact(self.pred, (src, dst, cost)), -1)
+        record.updated_links.append((a, b, cost))
+        self.bursts.append(record)
+        return record
+
     def schedule_bursts(self, times: Sequence[float]) -> None:
         """Schedule bursts at the given virtual times."""
         for time in times:

@@ -1,12 +1,16 @@
 """Batched vs unbatched delta processing.
 
-The micro-batched commit path (``batch_size > 1``: queue-level
-cancellation, run-batched strand firing, netted aggregate views) may
-change *intermediate* traffic but must never change what the engines
-compute: property tests hold the fixpoint contents, the final
-derivation counts, the aggregate views, and the net commit multiset
-equal across batch sizes and engines; deterministic tests pin the
-soundness guards of the cancellation pass one by one.
+The micro-batched commit path (``batch_size > 1``: Z-set weight
+netting at the queue, run-batched strand firing, netted aggregate
+views) may change *intermediate* traffic but must never change what
+the engines compute: property tests hold the fixpoint contents, the
+final derivation counts, the aggregate views, and the net commit
+multiset equal across batch sizes and engines; deterministic tests pin
+the netting pass's slot-order discipline (runs seal at replacements,
+forced deletes and restores) one case at a time -- including the two
+injected patterns where the batch is deliberately *atomic* and
+diverges from per-delta replay (see ``engine/psn.py``'s module
+docstring).
 """
 
 import random
@@ -188,7 +192,7 @@ def test_batched_engines_match_seminaive_fixpoint(edge_set, seed):
 
 
 # ----------------------------------------------------------------------
-# Cancellation soundness guards, pinned deterministically
+# Z-set netting semantics, pinned deterministically
 # ----------------------------------------------------------------------
 KV_PROGRAM = """
 materialize(kv, infinity, infinity, keys(1)).
@@ -231,8 +235,11 @@ def test_transient_announce_withdraw_cancels(batch_size):
 
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
 def test_minus_first_pair_is_not_cancelled(batch_size):
-    """-f then +f on an absent fact must leave f visible (the minus is a
-    no-op against the store); netting the pair would lose the insert."""
+    """-f then +f on an absent fact must leave f visible: the run's
+    prefix sum dips below zero, so sequentially the minus floors
+    against the store as a no-op and the plus then lands.  Netting the
+    pair to zero would lose the insert -- dipping runs replay
+    intent-by-intent instead."""
     engine = kv_engine(batch_size)
     enqueue(engine, -1, ("a", 1))
     enqueue(engine, 1, ("a", 1))
@@ -256,31 +263,66 @@ def test_forced_deletes_never_cancel(batch_size):
 
 
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
-def test_replacement_blocks_cancellation(batch_size):
-    """[+g, +f, -f] with g and f sharing a primary key: cancelling the
-    f pair would leave g stored, but sequentially f replaces g and then
-    dies, leaving the key empty.  The uniform-key guard forces the whole
-    group down the sequential path."""
+def test_zero_net_run_replays_over_conflicting_row(batch_size):
+    """[+g, +f, -f] with g and f sharing a primary key: sequentially
+    f's insert destroys g (replacement) and f then dies, leaving the
+    key empty.  Annihilating f's zero-net pair would resurrect g, so
+    the slot -- touched by two distinct tuples in one chunk -- is
+    ineligible for folding and replays intent-by-intent."""
     engine = kv_engine(batch_size)
     enqueue(engine, 1, ("k", 1))   # g
-    enqueue(engine, 1, ("k", 2))   # f replaces g
-    enqueue(engine, -1, ("k", 2))  # f dies; key empty
+    enqueue(engine, 1, ("k", 2))   # f: transient
+    enqueue(engine, -1, ("k", 2))  # f nets to zero
     engine.run()
     assert engine.db.table("kv").rows() == []
     assert engine.db.table("out").rows() == []
 
 
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
-def test_stored_conflicting_row_blocks_cancellation(batch_size):
+def test_zero_net_run_replays_over_stored_conflicting_row(batch_size):
     """[+f, -f] where the key is held by a *different* stored row g:
     sequentially f's insert destroys g (replacement) and f then dies,
-    leaving the key empty -- cancellation would resurrect g."""
+    leaving the key empty.  Annihilating the zero-net pair would spare
+    g -- and make the fixpoint depend on where the chunk boundary
+    fell -- so the stored-row check routes it through replay."""
     engine = kv_engine(batch_size, rows=[("k", 1)])
     enqueue(engine, 1, ("k", 2))
     enqueue(engine, -1, ("k", 2))
     engine.run()
     assert engine.db.table("kv").rows() == []
     assert engine.db.table("out").rows() == []
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES[1:])
+def test_replacement_seals_the_netting_run(batch_size):
+    """[+f, +g, +f] with f and g sharing a primary key: the g intent
+    makes the slot non-uniform, so the two f weights must NOT merge --
+    merging would commit +2 f before g and let g win the slot, while
+    sequentially the last writer f wins.  Both paths must end with f."""
+    engine = kv_engine(batch_size)
+    enqueue(engine, 1, ("k", 1))   # f
+    enqueue(engine, 1, ("k", 2))   # g replaces f
+    enqueue(engine, 1, ("k", 1))   # f replaces g back
+    engine.run()
+    assert engine.db.table("kv").rows() == [("k", 1)]
+    assert engine.db.table("out").rows() == [("k", 1)]
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES[1:])
+def test_forced_delete_seals_the_netting_run(batch_size):
+    """[+f, force -f, +f]: the forced delete is an assignment, not a
+    group element, and spoils its slot's eligibility; netting the two
+    inserts across it would commit +2 f, wipe it, and end empty, while
+    sequentially the trailing insert lands after the wipe.  Both paths
+    must end with f visible."""
+    engine = kv_engine(batch_size)
+    enqueue(engine, 1, ("a", 1))
+    enqueue(engine, -1, ("a", 1), force=True)
+    enqueue(engine, 1, ("a", 1))
+    engine.run()
+    assert engine.db.table("kv").rows() == [("a", 1)]
+    assert engine.db.table("out").rows() == [("a", 1)]
+    assert engine.db.table("kv").count(("a", 1)) == 1
 
 
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)

@@ -55,6 +55,16 @@ delivery guarantees the paper's theorems assume; a
 :class:`~repro.chaos.ChaosMonitor` checks the post-chaos fixpoint
 against a fault-free reference (``examples/chaos_routing.py``).
 
+Observability rides the same switches: ``deploy(..., metrics=True,
+trace=True, profile=True)`` wires a per-(node, rule, relation) metrics
+registry (``deployment.metrics()`` snapshots, Prometheus text via
+``metrics_text()``), delta-propagation tracing with ids piggybacked on
+the wire (``save_trace(path)`` exports Chrome trace-event JSON;
+``python -m repro.obs`` summarizes it), and per-strand CPU profiling
+(``deployment.profile().report()``; ``explain(timings=True)`` adds
+per-pass compile timings) -- see :mod:`repro.obs` and
+``examples/observability.py``.
+
 See ``examples/`` for full walkthroughs on simulated topologies and
 ``examples/live_routing.py`` for the live asyncio/UDP target.
 """

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -396,6 +397,9 @@ class PassSnapshot:
     options: Dict[str, object]
     before: Program
     after: Program
+    #: Wall seconds the pass took (``explain(timings=True)`` renders
+    #: these; 0.0 on snapshots that predate the timing hook).
+    elapsed: float = 0.0
 
     @property
     def changed(self) -> bool:
@@ -527,10 +531,13 @@ class CompiledProgram:
             f"rules={len(self.program.rules)})"
         )
 
-    def explain(self, join_plans: bool = True) -> str:
+    def explain(self, join_plans: bool = True, timings: bool = False) -> str:
         """Human-readable compilation report: validation summary,
         per-pass rule diffs, the final rewritten program, and (by
-        default) the compiled join plan of every rule."""
+        default) the compiled join plan of every rule.
+        ``timings=True`` appends per-pass compile times (opt-in: the
+        numbers vary run to run, so the default report stays
+        deterministic for golden-output comparisons)."""
         lines: List[str] = []
         lines.append(f"== compiled program {self.name!r} ==")
         pipeline = ", ".join(self.applied_passes) or "(none)"
@@ -583,6 +590,13 @@ class CompiledProgram:
                 elif crule.argmin is not None:
                     suffix = " (arg-extreme view)"
                 lines.append(f"{label}{suffix}: {_describe_plan(plan)}")
+        if timings:
+            lines.append("-- pass timings --")
+            total = 0.0
+            for snap in self.trace:
+                total += snap.elapsed
+                lines.append(f"{snap.name}: {snap.elapsed * 1e3:.3f} ms")
+            lines.append(f"total: {total * 1e3:.3f} ms")
         return "\n".join(lines)
 
     # -- derived artifacts ----------------------------------------------
@@ -601,9 +615,11 @@ class CompiledProgram:
         current = self.program
         for pass_, options in registry.resolve(passes):
             before = current
+            started = perf_counter()
             current = _apply_pass(pass_, before, options)
             trace.append(PassSnapshot(pass_.name, dict(options),
-                                      before, current))
+                                      before, current,
+                                      elapsed=perf_counter() - started))
         return CompiledProgram(
             source=self.source,
             program=current,
@@ -684,6 +700,9 @@ class CompiledProgram:
         host: str = "127.0.0.1",
         chaos=None,
         reliable: bool = False,
+        metrics: bool = False,
+        trace: bool = False,
+        profile: bool = False,
     ) -> "Deployment":
         """Stand up the program as a distributed declarative network.
 
@@ -711,6 +730,14 @@ class CompiledProgram:
         deltas over the ack/retransmit transport -- both are shorthand
         for the corresponding :class:`RuntimeConfig` fields and work on
         every target.
+
+        Observability (:mod:`repro.obs`, also config shorthand, any
+        target): ``metrics=True`` collects the per-(node, rule,
+        relation) registry behind :meth:`Deployment.metrics` /
+        ``metrics_text``; ``trace=True`` records causally-linked
+        delta-propagation spans exported by
+        :meth:`Deployment.save_trace`; ``profile=True`` accumulates
+        per-rule/per-strand CPU time for :meth:`Deployment.profile`.
         """
         from repro.runtime.cluster import Cluster
         from repro.runtime.config import RuntimeConfig
@@ -723,13 +750,15 @@ class CompiledProgram:
             )
         if link_loads is None:
             link_loads = {"link": metric}
-        if chaos is not None or reliable:
+        if chaos is not None or reliable or metrics or trace or profile:
+            base = config if config is not None else RuntimeConfig()
             config = dataclasses.replace(
-                config if config is not None else RuntimeConfig(),
-                chaos=chaos if chaos is not None
-                else (config.chaos if config is not None else None),
-                reliable=reliable
-                or (config.reliable if config is not None else False),
+                base,
+                chaos=chaos if chaos is not None else base.chaos,
+                reliable=reliable or base.reliable,
+                metrics=metrics or base.metrics,
+                trace=trace or base.trace,
+                profile=profile or base.profile,
             )
         compiled = self.localized()
         if target == "live":
@@ -875,8 +904,10 @@ def compile(
     current = program
     for pass_, options in registry.resolve(passes):
         before = current
+        started = perf_counter()
         current = _apply_pass(pass_, before, options)
-        trace.append(PassSnapshot(pass_.name, dict(options), before, current))
+        trace.append(PassSnapshot(pass_.name, dict(options), before, current,
+                                  elapsed=perf_counter() - started))
 
     artifact = CompiledProgram(
         source=program,
@@ -941,9 +972,13 @@ class _Subscription:
         self.pred = pred
         self.callback = callback
 
-    def on_commit(self, now: float, fact, sign: int) -> None:
+    def on_commit(self, now: float, fact, weight: int) -> None:
+        """``weight`` is the weighted visibility transition: ``+k``
+        derivations became visible (or refreshed), ``-k`` left
+        visibility.  Sign-only callbacks keep working (the historical
+        deltas are the ``+-1`` special case)."""
         if self.pred is None or fact.pred == self.pred:
-            self.callback(now, fact, sign)
+            self.callback(now, fact, weight)
 
 
 class Deployment:
@@ -1022,9 +1057,11 @@ class Deployment:
     def subscribe(
         self, pred: Optional[str], callback: Callable
     ) -> Callable[[], None]:
-        """Call ``callback(time, fact, sign)`` on every visible commit
-        of ``pred`` anywhere in the network (``pred=None`` observes
-        every relation).  Returns an unsubscribe callable."""
+        """Call ``callback(time, fact, weight)`` on every weighted
+        visibility transition of ``pred`` anywhere in the network
+        (``pred=None`` observes every relation): ``+k`` derivations
+        became visible, ``-k`` left.  Returns an unsubscribe
+        callable."""
         subscription = _Subscription(pred, callback)
         self.cluster.trackers.append(subscription)
 
@@ -1074,6 +1111,39 @@ class Deployment:
         return self.cluster.audit(strict=strict,
                                   exclude_nodes=exclude_nodes)
 
+    # -- observability --------------------------------------------------
+    @property
+    def tracer(self):
+        """The shared delta :class:`~repro.obs.Tracer` (``None`` when
+        tracing is off)."""
+        return self.cluster.tracer
+
+    def metrics(self):
+        """Point-in-time :class:`~repro.obs.MetricsSnapshot` of every
+        counter the deployment exposes.  Requires
+        ``deploy(..., metrics=True)``."""
+        return self.cluster.metrics_snapshot()
+
+    def metrics_text(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        return self.cluster.metrics_text()
+
+    def refresh_stats(self) -> None:
+        """Feed live table sizes and commit churn into each node's
+        :class:`~repro.opt.costbased.StatsCatalog`."""
+        self.cluster.refresh_stats()
+
+    def profile(self):
+        """Merged per-(rule, strand) CPU :class:`~repro.obs.Profiler`
+        across nodes.  Requires ``deploy(..., profile=True)``."""
+        return self.cluster.profile_report()
+
+    def save_trace(self, path: str) -> None:
+        """Export recorded delta-propagation spans as Chrome
+        trace-event JSON (``chrome://tracing`` / Perfetto).  Requires
+        ``deploy(..., trace=True)``."""
+        self.cluster.save_trace(path)
+
     # -- surfaces -------------------------------------------------------
     @property
     def overlay(self):
@@ -1100,10 +1170,10 @@ class Deployment:
         """The deployed (localized) program."""
         return self.cluster.program
 
-    def explain(self, join_plans: bool = True) -> str:
+    def explain(self, join_plans: bool = True, timings: bool = False) -> str:
         if self.compiled is None:
             return format_program(self.cluster.program)
-        return self.compiled.explain(join_plans=join_plans)
+        return self.compiled.explain(join_plans=join_plans, timings=timings)
 
     def __repr__(self) -> str:
         return (

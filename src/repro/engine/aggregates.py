@@ -193,6 +193,10 @@ class AggregateView:
         self.pred = pred
         self.info = info
         self.groups: Dict[Tuple, GroupState] = {}
+        #: Cumulative group-value transitions emitted (pre-netting) --
+        #: a plain int bump per change, pulled into metrics snapshots
+        #: as the view-churn counter.
+        self.changes = 0
 
     def apply(self, contribution: Tuple, weight: int) -> List[Tuple[int, Tuple]]:
         info = self.info
@@ -217,6 +221,7 @@ class AggregateView:
             deltas.append((-1, self._head(group_key, old)))
         if new is not None:
             deltas.append((1, self._head(group_key, new)))
+        self.changes += len(deltas)
         return deltas
 
     def apply_many(
@@ -291,6 +296,9 @@ class ArgExtremeView:
         self.winners: Dict[Tuple, Tuple] = {}
         #: group -> lazy-deletion heap of (value key, tie-break key, tuple)
         self._heaps: Dict[Tuple, List] = {}
+        #: Cumulative witness transitions emitted (pre-netting); see
+        #: :class:`AggregateView.changes`.
+        self.changes = 0
 
     def _group_of(self, args: Tuple) -> Tuple:
         return tuple(args[i] for i in self.group_positions)
@@ -318,9 +326,11 @@ class ArgExtremeView:
                 )
             if winner is None:
                 self.winners[group] = args
+                self.changes += 1
                 return [(1, args)]
             if self._better(value, winner[self.value_position]):
                 self.winners[group] = args
+                self.changes += 2
                 return [(-1, winner), (1, args)]
             return []
         # Retraction of ``-weight`` derivations.
@@ -351,6 +361,7 @@ class ArgExtremeView:
             del self.members[group]
             del self.winners[group]
             self._heaps.pop(group, None)
+            self.changes += 1
             return [(-1, args)]
         heap = self._heaps[group]
         while heap[0][2] not in members:
@@ -361,6 +372,7 @@ class ArgExtremeView:
             heapq.heapify(rebuilt)
             self._heaps[group] = rebuilt
         self.winners[group] = best
+        self.changes += 2
         return [(-1, args), (1, best)]
 
     def apply_many(

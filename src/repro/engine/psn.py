@@ -98,6 +98,7 @@ path and PR 2's guard-based cancellation.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Callable, Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.errors import EvaluationError
@@ -131,12 +132,15 @@ class QueuedDelta(NamedTuple):
     latest shadowed version only if the slot is still empty when the
     intent is processed (a replacement already in flight fills it
     first, so transient ``-old/+new`` update pairs do not churn through
-    stale versions)."""
+    stale versions).  ``trace`` is the delta-propagation trace id this
+    intent belongs to (minted at base-fact injection; ``None`` when
+    tracing is off)."""
 
     fact: Fact
     weight: int
     force: bool = False
     restore: bool = False
+    trace: Optional[int] = None
 
     @property
     def sign(self) -> int:
@@ -213,9 +217,21 @@ def build_strands(compiled: List[CompiledRule]) -> Dict[str, List[Strand]]:
 class PSNEngine:
     """Pipelined semi-naive engine over one database.
 
-    ``on_commit(fact, sign)`` (if given) observes every visible table
+    ``on_commit(fact, weight)`` (if given) observes every visible table
     change, in commit order -- used by the distributed runtime and the
-    experiment harness.
+    experiment harness.  ``weight`` is the Z-set weight of the
+    visibility transition: ``+k`` derivations became visible (a bulk
+    burst counts ``k``, not 1), ``-k`` left visibility (the count the
+    fact held when retracted).  The sign is the transition direction,
+    so sign-only consumers keep working unchanged.
+
+    ``metrics`` / ``tracer`` / ``profiler`` are the observability
+    hooks (:mod:`repro.obs`): a per-node
+    :class:`~repro.obs.metrics.NodeMetrics` holder, a
+    :class:`~repro.obs.trace.NodeTracer` handle, and a
+    :class:`~repro.obs.profile.Profiler`.  Like the provenance
+    recorder, each hot site is guarded by one ``None`` check, so the
+    disabled path (the default) costs nothing.
 
     ``batch_size`` selects the queue discipline: 1 (the default)
     processes one delta per step exactly as Algorithm 3 writes it;
@@ -232,6 +248,9 @@ class PSNEngine:
         stats: Optional[StatsCatalog] = None,
         batch_size: int = 1,
         provenance=None,
+        metrics=None,
+        tracer=None,
+        profiler=None,
     ):
         self.program = program
         self.db = db if db is not None else Database.for_program(program)
@@ -248,6 +267,10 @@ class PSNEngine:
             for strand_list in self.strands.values():
                 for strand in strand_list:
                     strand.attach_plan(self.db, stats=stats)
+        #: The catalog plans were costed against; live deployments feed
+        #: observed cardinalities and churn back into it
+        #: (``Cluster.refresh_stats``), the adaptive-cost-model input.
+        self.stats_catalog = stats
         #: Predicates whose deltas must take the per-delta reference
         #: path even inside a chunk: any predicate that drives a strand
         #: also joining against itself (run batching would double- or
@@ -300,6 +323,15 @@ class PSNEngine:
                 set(self.views) | set(self.argmin_views)
             )
         self.provenance = provenance
+        #: Observability hooks (:mod:`repro.obs`), all ``None`` when
+        #: the deployment was built without the corresponding flag.
+        self.metrics = metrics
+        self.tracer = tracer
+        self.profiler = profiler
+        #: Trace id of the delta currently being processed (always
+        #: ``None`` when tracing is off); rule firings read it so every
+        #: derived delta inherits its driver's trace.
+        self._active_trace: Optional[int] = None
 
     def _unbatchable_preds(self):
         """Extra predicates the batched path must hand to the per-delta
@@ -318,14 +350,24 @@ class PSNEngine:
         fact = Fact(pred, tuple(args))
         if self.provenance is not None:
             self.provenance.base(fact, 1)
-        self.derive(fact, 1)
+        if self.tracer is not None:
+            # Base-fact injection mints the trace id this delta (and
+            # everything derived from it) will carry.
+            self._enqueue(
+                QueuedDelta(fact, 1, trace=self.tracer.mint(fact, 1))
+            )
+        else:
+            self.derive(fact, 1)
 
     def delete(self, pred: str, args: Tuple) -> None:
         """Delete a base tuple outright (whatever its derivation count)."""
         fact = Fact(pred, tuple(args))
         if self.provenance is not None:
             self.provenance.base(fact, -1)
-        self._enqueue(QueuedDelta(fact, -1, force=True))
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.mint(fact, -1)
+        self._enqueue(QueuedDelta(fact, -1, force=True, trace=trace))
 
     def update(self, pred: str, args: Tuple) -> None:
         """Alias of :meth:`insert`; replacement does the delete half."""
@@ -345,7 +387,10 @@ class PSNEngine:
         invalidation and netted remote batches."""
         weight = int(weight)
         if weight:
-            self._enqueue(QueuedDelta(fact, weight))
+            trace = self._active_trace
+            if trace is not None:
+                self.tracer.derive(fact, weight, trace)
+            self._enqueue(QueuedDelta(fact, weight, trace=trace))
 
     # ------------------------------------------------------------------
     # Fixpoint driving
@@ -460,6 +505,8 @@ class PSNEngine:
     def process_next(self) -> None:
         delta = self.queue.popleft()
         self.steps += 1
+        if self.tracer is not None:
+            self._active_trace = delta.trace
         if delta.restore:
             self._commit_restore(delta.fact)
         elif delta.weight > 0:
@@ -496,12 +543,15 @@ class PSNEngine:
             self._net_chunk(chunk) if has_plus and has_minus else chunk
         )
         unbatchable = self._unbatchable
+        tracing = self.tracer is not None
         index = 0
         end = len(survivors)
         while index < end:
             delta = survivors[index]
             pred = delta.fact.pred
             plus = delta.weight > 0
+            if tracing:
+                self._active_trace = delta.trace
             if delta.restore:
                 self._commit_restore(delta.fact)
                 index += 1
@@ -529,11 +579,13 @@ class PSNEngine:
                     self._commit_delete(delta.fact, -delta.weight)
             else:
                 if plus:
-                    run = [(survivors[i].fact, survivors[i].weight)
+                    run = [(survivors[i].fact, survivors[i].weight,
+                            survivors[i].trace)
                            for i in range(index, stop)]
                     self._commit_insert_run(run)
                 else:
-                    run = [(survivors[i].fact, -survivors[i].weight)
+                    run = [(survivors[i].fact, -survivors[i].weight,
+                            survivors[i].trace)
                            for i in range(index, stop)]
                     self._commit_delete_run(run)
             index = stop
@@ -601,20 +653,34 @@ class PSNEngine:
             group[3] = weight
         survivors: List[QueuedDelta] = []
         netted = 0
+        tracer = self.tracer
         for position, delta in enumerate(chunk):
             group = groups[slots[position]]
             weight = group[3]
             if weight is None:
                 survivors.append(delta)
-            elif weight == 0:
+                continue
+            if weight == 0:
                 netted += 1
             elif position == group[2][0]:
                 netted += len(group[2]) - 1
-                survivors.append(QueuedDelta(delta.fact, weight))
+                # The folded intent keeps the first delta's trace (the
+                # slot's other traces end here with a net span below).
+                survivors.append(
+                    QueuedDelta(delta.fact, weight, trace=delta.trace)
+                )
+                continue
+            if tracer is not None and delta.trace is not None:
+                # This intent was annihilated (or folded into the
+                # slot's first position) by Z-set addition: its trace's
+                # propagation ends at the queue.
+                tracer.net(delta.fact, delta.weight, delta.trace)
         self.cancelled += netted
         return survivors
 
-    def _commit_insert_run(self, items: List[Tuple[Fact, int]]) -> None:
+    def _commit_insert_run(
+        self, items: List[Tuple[Fact, int, Optional[int]]]
+    ) -> None:
         """Commit a run of same-predicate weighted insertions, then fire
         each strand once with the freshly visible facts.  Join-for-join
         identical to sequential processing: the predicate has no
@@ -622,18 +688,23 @@ class PSNEngine:
         firings read partner tables this run never touches."""
         table = self.db.table(items[0][0].pred)
         on_commit = self.on_commit
+        tracing = self.tracer is not None
         soft = table.lifetime != INFINITY
         pending: List[Fact] = []
-        for fact, weight in items:
+        pending_traces: Optional[List] = [] if tracing else None
+        for fact, weight, trace in items:
+            if tracing:
+                self._active_trace = trace
             args = fact.args
             if args in table:
                 # More derivations of a visible fact: one count bump of
                 # the whole weight + timestamp refresh (observable only
-                # for soft-state TTL consumers, and as one refresh).
+                # for soft-state TTL consumers, and as one refresh of
+                # the whole weight).
                 self.clock += 1
                 table.insert(args, ts=self.clock, count=weight)
                 if soft and on_commit is not None:
-                    on_commit(fact, 1)
+                    on_commit(fact, weight)
                 continue
             old = table.get_by_key(table.key_of(args))
             if old is not None:
@@ -642,23 +713,31 @@ class PSNEngine:
                 # retraction cannot overtake them (the old row may even
                 # be a member of this very run).
                 if pending:
-                    self._fire_strands_batch(pending, 1)
+                    self._fire_strands_batch(pending, 1, pending_traces)
                     pending = []
+                    if tracing:
+                        pending_traces = []
                 if table.fallback:
-                    self._supersede_visible(Fact(fact.pred, old))
+                    self._supersede_visible(Fact(fact.pred, old),
+                                            table.count(old))
                 else:
-                    self._retract_visible(Fact(fact.pred, old))
+                    self._retract_visible(Fact(fact.pred, old),
+                                          table.count(old))
             self.clock += 1
             table.insert(args, ts=self.clock, count=weight)
             if table.fallback:
                 table.absorb_shadow(args)
             if on_commit is not None:
-                on_commit(fact, 1)
+                on_commit(fact, weight)
             pending.append(fact)
+            if tracing:
+                pending_traces.append(trace)
         if pending:
-            self._fire_strands_batch(pending, 1)
+            self._fire_strands_batch(pending, 1, pending_traces)
 
-    def _commit_delete_run(self, items: List[Tuple[Fact, int]]) -> None:
+    def _commit_delete_run(
+        self, items: List[Tuple[Fact, int, Optional[int]]]
+    ) -> None:
         """Commit a run of same-predicate (non-forced) weighted
         deletions -- ``count`` derivations withdrawn per fact -- then
         fire each strand once with the facts that lost visibility.
@@ -668,8 +747,12 @@ class PSNEngine:
         partner tables."""
         table = self.db.table(items[0][0].pred)
         on_commit = self.on_commit
+        tracing = self.tracer is not None
         pending: List[Fact] = []
-        for fact, count in items:
+        pending_traces: Optional[List] = [] if tracing else None
+        for fact, count, trace in items:
+            if tracing:
+                self._active_trace = trace
             current = table.count(fact.args)
             if current <= 0:
                 # Superseded, never committed, or already gone; on a
@@ -681,7 +764,7 @@ class PSNEngine:
                 table.delete(fact.args, count)
                 continue
             if on_commit is not None:
-                on_commit(fact, -1)
+                on_commit(fact, -current)
             if self.provenance is not None:
                 self.provenance.retracted(fact)
             table.force_delete(fact.args)
@@ -690,8 +773,10 @@ class PSNEngine:
                 # shadowed copies (see :meth:`_commit_delete`).
                 table.shadow_discard(fact.args, count - current)
             pending.append(fact)
+            if tracing:
+                pending_traces.append(trace)
         if pending:
-            self._fire_strands_batch(pending, -1)
+            self._fire_strands_batch(pending, -1, pending_traces)
 
     def _commit_insert(self, fact: Fact, weight: int = 1) -> None:
         table = self.db.table(fact.pred)
@@ -705,21 +790,23 @@ class PSNEngine:
             self.clock += 1
             table.insert(fact.args, ts=self.clock, count=weight)
             if table.lifetime != INFINITY and self.on_commit is not None:
-                self.on_commit(fact, 1)
+                self.on_commit(fact, weight)
             return
         old = table.get_by_key(table.key_of(fact.args))
         if old is not None:
             # Primary-key replacement: retract the superseded tuple first.
             if table.fallback:
-                self._supersede_visible(Fact(fact.pred, old))
+                self._supersede_visible(Fact(fact.pred, old),
+                                        table.count(old))
             else:
-                self._retract_visible(Fact(fact.pred, old))
+                self._retract_visible(Fact(fact.pred, old),
+                                      table.count(old))
         self.clock += 1
         table.insert(fact.args, ts=self.clock, count=weight)
         if table.fallback:
             table.absorb_shadow(fact.args)
         if self.on_commit is not None:
-            self.on_commit(fact, 1)
+            self.on_commit(fact, weight)
         self._fire_strands(fact, 1)
 
     def _commit_delete(self, fact: Fact, count: int = 1,
@@ -738,7 +825,7 @@ class PSNEngine:
         if current > count and not force:
             table.delete(fact.args, count)
             return
-        self._retract_visible(fact)
+        self._retract_visible(fact, current)
         if force and table.fallback:
             # A forced delete wipes the slot outright (base-table
             # semantics: superseded values never resurrect).
@@ -751,11 +838,13 @@ class PSNEngine:
             # minuses did one at a time.
             table.shadow_discard(fact.args, count - current)
 
-    def _retract_visible(self, fact: Fact) -> None:
+    def _retract_visible(self, fact: Fact, count: int = 1) -> None:
         """Remove a visible fact: run its deletion strands while it is
-        still in the table (so partners see it), then drop it."""
+        still in the table (so partners see it), then drop it.
+        ``count`` is the derivation count the row held -- the weighted
+        magnitude its ``on_commit`` retraction reports."""
         if self.on_commit is not None:
-            self.on_commit(fact, -1)
+            self.on_commit(fact, -count)
         self._fire_strands(fact, -1)
         if self.provenance is not None:
             # The row is dropped wholesale (replacement / forced delete /
@@ -763,7 +852,7 @@ class PSNEngine:
             self.provenance.retracted(fact)
         self.db.table(fact.pred).force_delete(fact.args)
 
-    def _supersede_visible(self, fact: Fact) -> None:
+    def _supersede_visible(self, fact: Fact, count: int = 1) -> None:
         """Displace the current row of a keyed slot.  Downstream
         consumers see a retraction (only the latest version of a slot is
         visible), but the derivation stays outstanding in the table's
@@ -771,7 +860,7 @@ class PSNEngine:
         displaced it, so a later withdrawal of the replacement falls
         back to it (:meth:`_restore_fallback`)."""
         if self.on_commit is not None:
-            self.on_commit(fact, -1)
+            self.on_commit(fact, -count)
         self._fire_strands(fact, -1)
         if self.provenance is not None:
             self.provenance.retracted(fact)
@@ -837,58 +926,81 @@ class PSNEngine:
         crule = strand.crule
         functions = self.db.functions
         capture = self.provenance
+        profiler = self.profiler
+        started = perf_counter() if profiler is not None else 0.0
+        inferences = 0
         if strand.plan is not None:
             seed = strand.driver_step.match(fact.args, {}, functions)
-            if seed is None:
-                return
-            emit = self._emit
-            instantiate = crule.instantiate
-            inferences = 0
-            if capture is None:
-                for bindings in strand.bound_executor(
-                    seed, None, functions, fact, None
+            if seed is not None:
+                emit = self._emit
+                instantiate = crule.instantiate
+                if capture is None:
+                    for bindings in strand.bound_executor(
+                        seed, None, functions, fact, None
+                    ):
+                        inferences += 1
+                        emit(crule, instantiate(bindings, functions), sign)
+                else:
+                    for bindings in strand.bound_executor(
+                        seed, None, functions, fact, None
+                    ):
+                        inferences += 1
+                        head = instantiate(bindings, functions)
+                        capture.capture(crule, bindings, head, sign,
+                                        functions)
+                        emit(crule, head, sign)
+        else:
+            seed = unify_literal(
+                strand.driver_literal, fact.args, {}, functions
+            )
+            if seed is not None:
+                for bindings in solve(
+                    crule,
+                    strand.sources,
+                    functions,
+                    bindings=seed,
+                    skip_index=strand.driver_index,
+                    skip_fact=fact,
                 ):
                     inferences += 1
-                    emit(crule, instantiate(bindings, functions), sign)
-            else:
-                for bindings in strand.bound_executor(
-                    seed, None, functions, fact, None
-                ):
-                    inferences += 1
-                    head = instantiate(bindings, functions)
-                    capture.capture(crule, bindings, head, sign, functions)
-                    emit(crule, head, sign)
-            self.inferences += inferences
-            return
-        seed = unify_literal(strand.driver_literal, fact.args, {}, functions)
-        if seed is None:
-            return
-        for bindings in solve(
-            crule,
-            strand.sources,
-            functions,
-            bindings=seed,
-            skip_index=strand.driver_index,
-            skip_fact=fact,
-        ):
-            self.inferences += 1
-            head = instantiate_head(crule, bindings, functions)
-            if capture is not None:
-                capture.capture(crule, bindings, head, sign, functions)
-            self._emit(crule, head, sign)
+                    head = instantiate_head(crule, bindings, functions)
+                    if capture is not None:
+                        capture.capture(crule, bindings, head, sign,
+                                        functions)
+                    self._emit(crule, head, sign)
+        self.inferences += inferences
+        if profiler is not None:
+            profiler.add(crule.label, strand.driver_literal.pred,
+                         perf_counter() - started)
+        if inferences and self.metrics is not None:
+            self._note_firing(crule.label, inferences)
 
-    def _fire_strands_batch(self, facts: List[Fact], sign: int) -> None:
+    def _note_firing(self, label: str, inferences: int) -> None:
+        """Metrics push: one productive strand invocation (kept out of
+        the firing loop so the disabled path stays a single check)."""
+        metrics = self.metrics
+        firings = metrics.rule_firings
+        firings[label] = firings.get(label, 0) + 1
+        counts = metrics.rule_inferences
+        counts[label] = counts.get(label, 0) + inferences
+
+    def _fire_strands_batch(self, facts: List[Fact], sign: int,
+                            traces: Optional[List] = None) -> None:
         """Fire every strand of the run's predicate once with the whole
         list of driving facts (the batched counterpart of
-        :meth:`_fire_strands`)."""
+        :meth:`_fire_strands`).  ``traces`` (tracing only) carries each
+        fact's trace id so derived deltas inherit their own driver's
+        trace even inside a batched firing."""
         for strand in self.strands.get(facts[0].pred, ()):
-            self._fire_strand_batch(strand, facts, sign)
+            self._fire_strand_batch(strand, facts, sign, traces)
 
     def _fire_strand_batch(self, strand: Strand, facts: List[Fact],
-                           sign: int) -> None:
+                           sign: int, traces: Optional[List] = None) -> None:
         crule = strand.crule
         functions = self.db.functions
         capture = self.provenance
+        profiler = self.profiler
+        started = perf_counter() if profiler is not None else 0.0
         batch_view = crule.aggregate is not None or crule.argmin is not None
         heads: Optional[List[Tuple]] = [] if batch_view else None
         inferences = 0
@@ -897,7 +1009,9 @@ class PSNEngine:
             executor = strand.bound_executor
             instantiate = crule.instantiate
             emit = self._emit
-            for fact in facts:
+            for position, fact in enumerate(facts):
+                if traces is not None:
+                    self._active_trace = traces[position]
                 seed = match(fact.args, {}, functions)
                 if seed is None:
                     continue
@@ -915,7 +1029,9 @@ class PSNEngine:
             driver_literal = strand.driver_literal
             sources = strand.sources
             driver_index = strand.driver_index
-            for fact in facts:
+            for position, fact in enumerate(facts):
+                if traces is not None:
+                    self._active_trace = traces[position]
                 seed = unify_literal(driver_literal, fact.args, {}, functions)
                 if seed is None:
                     continue
@@ -934,6 +1050,10 @@ class PSNEngine:
                         self._emit(crule, head, sign)
         self.inferences += inferences
         if batch_view and heads:
+            # Net view outputs for the whole batch.  Under tracing the
+            # netted group-value changes are attributed to the last
+            # contributing driver's trace -- an approximation (a net
+            # change can mix contributions from several traces).
             pred = crule.head.pred
             if crule.aggregate is not None:
                 view = self.views[pred]
@@ -941,6 +1061,11 @@ class PSNEngine:
                 view = self.argmin_views[pred]
             for view_sign, view_args in view.apply_many(heads, sign):
                 self.derive(Fact(pred, view_args), view_sign)
+        if profiler is not None:
+            profiler.add(crule.label, strand.driver_literal.pred,
+                         perf_counter() - started)
+        if inferences and self.metrics is not None:
+            self._note_firing(crule.label, inferences)
 
     def _emit(self, crule: CompiledRule, head: Tuple, sign: int) -> None:
         """Route a rule firing to its head relation (virtual: the
@@ -966,8 +1091,13 @@ def evaluate(
     use_plans: bool = True,
     batch_size: int = 1,
     provenance=None,
+    profiler=None,
 ) -> EvalResult:
-    """Run ``program`` to fixpoint with PSN and return the result."""
+    """Run ``program`` to fixpoint with PSN and return the result.
+
+    ``profiler`` (an :class:`repro.obs.Profiler`) accumulates
+    per-strand CPU time for the run when given."""
     engine = PSNEngine(program, db=db, use_plans=use_plans,
-                       batch_size=batch_size, provenance=provenance)
+                       batch_size=batch_size, provenance=provenance,
+                       profiler=profiler)
     return engine.fixpoint(max_steps=max_steps)

@@ -80,16 +80,21 @@ def _decode_value(value):
 
 
 def encode_message(message: Message) -> bytes:
-    # Each delta is [pred, weight, args] with an optional 4th element:
-    # the provenance tag of the producing derivation (omitted when
-    # absent).  Weight occupies the slot the old format used for the
-    # sign, and unit deltas encode identically under both readings, so
-    # frames from pre-weight senders decode natively (weight = sign).
+    # Each delta is [pred, weight, args] with optional trailing
+    # elements: the provenance tag of the producing derivation and the
+    # delta-propagation trace id (each omitted when absent; a trace
+    # with no provenance ships an explicit null in the prov slot).
+    # Weight occupies the slot the old format used for the sign, and
+    # unit deltas encode identically under both readings, so frames
+    # from pre-weight senders decode natively (weight = sign).
     deltas = []
     for delta in message.deltas:
         entry = [delta.pred, delta.weight,
                  [_encode_value(arg) for arg in delta.args]]
-        if delta.prov is not None:
+        if delta.trace is not None:
+            entry.append(delta.prov)
+            entry.append(delta.trace)
+        elif delta.prov is not None:
             entry.append(delta.prov)
         deltas.append(entry)
     frame = {
@@ -138,6 +143,7 @@ def decode_message(data: bytes) -> Message:
                 tuple(_decode_value(arg) for arg in entry[2]),
                 weight,
                 entry[3] if len(entry) > 3 else None,
+                entry[4] if len(entry) > 4 else None,
             ))
         message = Message(src=raw["s"], dst=raw["d"], deltas=tuple(deltas),
                           shared_bytes=raw["h"],

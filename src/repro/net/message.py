@@ -52,13 +52,17 @@ class NetDelta:
     deployment's shared provenance store) of the rule firing that
     produced this tuple at the sender, piggybacked so the receiving
     node can link its materialization back to the producing derivation.
-    Observability metadata: excluded from equality and from the byte
-    model (the paper's communication metric predates provenance)."""
+    ``trace`` is the delta-propagation trace id (:mod:`repro.obs`)
+    piggybacked the same way, so a trace's causal spans continue across
+    the wire.  Both are observability metadata: excluded from equality
+    and from the byte model (the paper's communication metric predates
+    them)."""
 
     pred: str
     args: Tuple
     weight: int
     prov: Optional[int] = field(default=None, compare=False)
+    trace: Optional[int] = field(default=None, compare=False)
 
     @property
     def sign(self) -> int:
@@ -122,26 +126,29 @@ class Message:
 def coalesce(deltas: Iterable[NetDelta]) -> Tuple[NetDelta, ...]:
     """Net a delta stream by Z-set addition: same-``(pred, args)``
     entries merge into one carrying the summed weight (first-seen
-    order, zero sums dropped, latest non-``None`` provenance tag kept).
-    Applied per message before send, so a link flap buffered within one
-    flush interval ships nothing at all."""
+    order, zero sums dropped, latest non-``None`` provenance and trace
+    tags kept).  Applied per message before send, so a link flap
+    buffered within one flush interval ships nothing at all."""
     net: Dict[Tuple[str, Tuple], List] = {}
     order: List[Tuple[str, Tuple]] = []
     for delta in deltas:
         key = (delta.pred, delta.args)
         entry = net.get(key)
         if entry is None:
-            net[key] = [delta.weight, delta.prov]
+            net[key] = [delta.weight, delta.prov, delta.trace]
             order.append(key)
         else:
             entry[0] += delta.weight
             if delta.prov is not None:
                 entry[1] = delta.prov
-    return tuple(
-        NetDelta(pred, args, net[(pred, args)][0], net[(pred, args)][1])
-        for pred, args in order
-        if net[(pred, args)][0] != 0
-    )
+            if delta.trace is not None:
+                entry[2] = delta.trace
+    out: List[NetDelta] = []
+    for pred, args in order:
+        entry = net[(pred, args)]
+        if entry[0] != 0:
+            out.append(NetDelta(pred, args, entry[0], entry[1], entry[2]))
+    return tuple(out)
 
 
 def single(src: str, dst: str, pred: str, args: Tuple, weight: int) -> Message:

@@ -112,13 +112,25 @@ class ResultTracker:
 
     watch_pred: str
     last_insert: Dict[Tuple, float] = field(default_factory=dict)
+    #: Weighted visibility totals: a ``+k`` burst (k derivations of one
+    #: fact committing together) counts ``k``, and a ``-k`` invalidation
+    #: counts ``k`` retracted -- the Z-set analogue of the insert/delete
+    #: tallies.  ``retracted_weight`` accumulates positively.
+    committed_weight: int = 0
+    retracted_weight: int = 0
 
-    def on_commit(self, time: float, fact, sign: int) -> None:
+    def on_commit(self, time: float, fact, weight: int) -> None:
+        """A weighted visibility transition for ``fact``: ``weight > 0``
+        derivations became visible (or refreshed an existing row), or
+        ``-weight`` left visibility.  Sign-only callers (the historical
+        ``+-1`` contract) flow through unchanged."""
         if fact.pred != self.watch_pred:
             return
-        if sign > 0:
+        if weight > 0:
+            self.committed_weight += weight
             self.last_insert[fact.args] = time
         else:
+            self.retracted_weight -= weight
             self.last_insert.pop(fact.args, None)
 
     def completion_times(self) -> List[float]:

@@ -1,0 +1,43 @@
+"""Observability subsystem: metrics registry, delta-propagation
+tracing and profiling hooks.
+
+Enable per deployment::
+
+    deployment = compiled.deploy(overlay, metrics=True, trace=True,
+                                 profile=True)
+    ...
+    snap = deployment.metrics()          # MetricsSnapshot
+    print(deployment.metrics_text())     # Prometheus text exposition
+    print(deployment.profile().report()) # per-strand CPU time
+    deployment.save_trace("trace.json")  # Chrome trace-event JSON
+
+``python -m repro.obs trace.json`` summarizes a saved trace file.
+
+Everything here follows the provenance recorder's cost discipline: a
+deployment built without these flags holds ``None`` in every hook slot
+and pays one attribute check per hot site.
+"""
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, NodeMetrics
+from repro.obs.profile import Profiler
+from repro.obs.trace import (
+    NodeTracer,
+    TraceEvent,
+    Tracer,
+    load_trace,
+    render_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NodeMetrics",
+    "NodeTracer",
+    "Profiler",
+    "TraceEvent",
+    "Tracer",
+    "load_trace",
+    "render_trace",
+    "summarize_trace",
+]

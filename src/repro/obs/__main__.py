@@ -1,0 +1,38 @@
+"""CLI: summarize or render a saved Chrome trace-event JSON file.
+
+Usage::
+
+    python -m repro.obs trace.json             # summary
+    python -m repro.obs trace.json --trace 3   # one trace's timeline
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.obs.trace import load_trace, render_trace, summarize_trace
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or render a delta-propagation trace "
+                    "(Chrome trace-event JSON written by save_trace).",
+    )
+    parser.add_argument("path", help="trace file to read")
+    parser.add_argument(
+        "--trace", type=int, default=None, metavar="ID",
+        help="render the ordered timeline of one trace id",
+    )
+    args = parser.parse_args(argv)
+    trace = load_trace(args.path)
+    if args.trace is not None:
+        print(render_trace(trace, args.trace))
+    else:
+        print(summarize_trace(trace))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

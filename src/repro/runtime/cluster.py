@@ -68,6 +68,20 @@ class Cluster:
         self.sim = self.clock
         self.stats = TrafficStats()
         self.trackers: List[ResultTracker] = []
+        #: Observability (:mod:`repro.obs`): the metrics registry and
+        #: the trace recorder, or ``None`` when the config leaves them
+        #: off.  Built before transport/chaos/nodes -- all three bind
+        #: them at construction time.
+        self.metrics = None
+        self.tracer = None
+        if self.config.metrics:
+            from repro.obs import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+        if self.config.trace:
+            from repro.obs import Tracer
+
+            self.tracer = Tracer(now=lambda: self.clock.now)
         #: True while a watchdog teardown's repair window is open (the
         #: deferred fallback restores it queued are not yet drained).
         self._repair_pending = False
@@ -184,8 +198,9 @@ class Cluster:
         return self._channels.get(key)
 
     def ship(self, src: str, dst: str, pred: str, args: Tuple, weight: int,
-             prov: Optional[int] = None) -> None:
-        self.transport.send(src, dst, pred, args, weight, prov=prov)
+             prov: Optional[int] = None, trace: Optional[int] = None) -> None:
+        self.transport.send(src, dst, pred, args, weight, prov=prov,
+                            trace=trace)
 
     def deliver(self, message: Message) -> None:
         """Channel arrival: chaos delivery guard, then the reliable
@@ -206,7 +221,8 @@ class Cluster:
             raise NetworkError(f"message to unknown node {message.dst}")
         for delta in message.deltas:
             node.receive(delta.pred, delta.args, delta.weight,
-                         prov=delta.prov, origin=message.src)
+                         prov=delta.prov, origin=message.src,
+                         trace=delta.trace)
 
     def clock_for(self, node: str):
         """The clock a node schedules on: the shared cluster clock, or
@@ -224,6 +240,8 @@ class Cluster:
         if node is None:
             return
         self.stats.links_torn_down += 1
+        if self.tracer is not None:
+            self.tracer.fault("link_teardown", src, dst)
         self._begin_repair()
         for pred in self.link_loads:
             table = node.db.tables.get(pred)
@@ -246,9 +264,9 @@ class Cluster:
             return args
         return tuple(args[i] for i in key)
 
-    def observe_commit(self, node: str, fact: Fact, sign: int) -> None:
+    def observe_commit(self, node: str, fact: Fact, weight: int) -> None:
         for tracker in self.trackers:
-            tracker.on_commit(self.clock.now, fact, sign)
+            tracker.on_commit(self.clock.now, fact, weight)
 
     # ------------------------------------------------------------------
     # Execution
@@ -383,3 +401,68 @@ class Cluster:
 
         return audit_cluster(self, strict=strict,
                              exclude_nodes=exclude_nodes)
+
+    # ------------------------------------------------------------------
+    # Observability (:mod:`repro.obs`)
+    # ------------------------------------------------------------------
+    def _require_metrics(self):
+        if self.metrics is None:
+            raise PlanError(
+                "deployment was started without the metrics registry; "
+                "deploy(..., metrics=True) to collect it"
+            )
+        return self.metrics
+
+    def _require_tracer(self):
+        if self.tracer is None:
+            raise PlanError(
+                "deployment was started without delta tracing; "
+                "deploy(..., trace=True) to record spans"
+            )
+        return self.tracer
+
+    def metrics_snapshot(self):
+        """Point-in-time :class:`~repro.obs.MetricsSnapshot`: pushed
+        counters (rule firings, weighted commits, retransmits) merged
+        with state pulled from the engines, tables and traffic stats."""
+        return self._require_metrics().snapshot(self)
+
+    def metrics_text(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        return self.metrics_snapshot().to_prometheus()
+
+    def refresh_stats(self) -> None:
+        """Feed live table sizes and commit churn into each node's
+        :class:`~repro.opt.costbased.StatsCatalog`, closing the loop
+        between the metrics registry and the cost-based optimizer."""
+        snapshot = self.metrics_snapshot()
+        churn = snapshot.churn()
+        for name, node in self.nodes.items():
+            catalog = node.stats_catalog
+            if catalog is None:
+                continue
+            sizes = {
+                pred: float(len(table))
+                for pred, table in node.db.tables.items()
+                if len(table)
+            }
+            catalog.refresh(sizes=sizes, churn=churn)
+
+    def profile_report(self):
+        """Merged per-(rule, strand) CPU profile across all nodes."""
+        if not self.config.profile:
+            raise PlanError(
+                "deployment was started without profiling; "
+                "deploy(..., profile=True) to accumulate strand timings"
+            )
+        from repro.obs import Profiler
+
+        merged = Profiler()
+        for node in self.nodes.values():
+            if node.profiler is not None:
+                merged.merge(node.profiler)
+        return merged
+
+    def save_trace(self, path: str) -> None:
+        """Export the recorded spans as Chrome trace-event JSON."""
+        self._require_tracer().save(path)

@@ -98,3 +98,14 @@ class RuntimeConfig:
     #: Fault-injection plan (:class:`repro.chaos.ChaosSchedule`), or
     #: ``None`` for a fault-free run.
     chaos: Optional["ChaosSchedule"] = None
+    #: Collect the per-(node, rule, relation) metrics registry
+    #: (:mod:`repro.obs`): ``Deployment.metrics()`` snapshots, the
+    #: Prometheus text exposition, and the live StatsCatalog feed.
+    metrics: bool = False
+    #: Record delta-propagation traces: a trace id minted per injected
+    #: base fact, spans for derive/net/ship/receive/commit, exported as
+    #: Chrome trace-event JSON via ``Deployment.save_trace``.
+    trace: bool = False
+    #: Accumulate per-rule/per-strand CPU time
+    #: (``Deployment.profile()``).
+    profile: bool = False

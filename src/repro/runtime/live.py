@@ -141,7 +141,8 @@ class LiveCluster(Cluster):
             try:
                 for delta in message.deltas:
                     node.receive(delta.pred, delta.args, delta.weight,
-                                 prov=delta.prov, origin=message.src)
+                                 prov=delta.prov, origin=message.src,
+                                 trace=delta.trace)
             except BaseException as exc:  # noqa: BLE001 -- surfaced at stop
                 self._task_failures.append((name, exc))
 
@@ -446,6 +447,35 @@ class LiveDeployment:
         return self._require_started().audit(strict=strict,
                                              exclude_nodes=exclude_nodes)
 
+    # -- observability --------------------------------------------------
+    @property
+    def tracer(self):
+        """The shared delta tracer (``None`` before start or when
+        tracing is off)."""
+        return self.cluster.tracer if self.cluster is not None else None
+
+    def metrics(self):
+        """Point-in-time metrics snapshot (see
+        :meth:`repro.api.Deployment.metrics`).  Readable after
+        ``stop()``."""
+        return self._require_started().metrics_snapshot()
+
+    def metrics_text(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        return self._require_started().metrics_text()
+
+    def refresh_stats(self) -> None:
+        """Feed live sizes/churn into each node's StatsCatalog."""
+        self._require_started().refresh_stats()
+
+    def profile(self):
+        """Merged per-(rule, strand) CPU profile across nodes."""
+        return self._require_started().profile_report()
+
+    def save_trace(self, path: str) -> None:
+        """Export recorded spans as Chrome trace-event JSON."""
+        self._require_started().save_trace(path)
+
     # -- surfaces -------------------------------------------------------
     @property
     def now(self) -> float:
@@ -467,8 +497,8 @@ class LiveDeployment:
     def program(self):
         return self.compiled.program
 
-    def explain(self, join_plans: bool = True) -> str:
-        return self.compiled.explain(join_plans=join_plans)
+    def explain(self, join_plans: bool = True, timings: bool = False) -> str:
+        return self.compiled.explain(join_plans=join_plans, timings=timings)
 
     def __repr__(self) -> str:
         state = "running" if self.started else "not started"

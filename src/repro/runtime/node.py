@@ -52,9 +52,25 @@ class NodeRuntime(PSNEngine):
             recorder = store.recorder(
                 node=address, clock=lambda: cluster.clock.now
             )
+        # Observability handles follow the provenance recorder's shape:
+        # per-node views bound off the cluster-wide registries, or
+        # ``None`` so every hot-path site is one attribute check.
+        registry = getattr(cluster, "metrics", None)
+        metrics = registry.node(address) if registry is not None else None
+        shared_tracer = getattr(cluster, "tracer", None)
+        tracer = (
+            shared_tracer.recorder(address)
+            if shared_tracer is not None else None
+        )
+        profiler = None
+        if cluster.config.profile:
+            from repro.obs import Profiler
+
+            profiler = Profiler()
         super().__init__(program, db=Database.for_program(program),
                          batch_size=cluster.config.cpu_batch,
-                         provenance=recorder)
+                         provenance=recorder, metrics=metrics,
+                         tracer=tracer, profiler=profiler)
         self._tick_scheduled = False
         self.deltas_processed = 0
         self.on_commit = self._commit_hook
@@ -107,6 +123,11 @@ class NodeRuntime(PSNEngine):
                     self._tick,
                 )
                 return
+        metrics = self.metrics
+        if metrics is not None:
+            depth = len(self.queue)
+            if depth > metrics.queue_peak:
+                metrics.queue_peak = depth
         processed = 0
         if self.queue:
             if self.batch_size > 1:
@@ -135,7 +156,8 @@ class NodeRuntime(PSNEngine):
     # ------------------------------------------------------------------
     def receive(self, pred: str, args: Tuple, weight: int,
                 prov: Optional[int] = None,
-                origin: Optional[str] = None) -> None:
+                origin: Optional[str] = None,
+                trace: Optional[int] = None) -> None:
         """A weighted tuple arrived over a link: enqueue it like a local
         delta ("a timestamp is added to each tuple at arrival", Section
         3.3.2 -- in our commit discipline the arrival order itself is
@@ -157,7 +179,14 @@ class NodeRuntime(PSNEngine):
                 ledger.pop(fact, None)
         if prov is not None and self.provenance is not None and weight > 0:
             self.provenance.arrival(fact, prov)
-        self.derive(fact, weight)
+        if trace is not None and weight and self.tracer is not None:
+            # Continue the sender's trace: record the arrival span and
+            # enqueue with the id attached so downstream derivations and
+            # the local commit stay causally linked.
+            self.tracer.receive(fact, weight, trace, origin)
+            self._enqueue(QueuedDelta(fact, weight, trace=trace))
+        else:
+            self.derive(fact, weight)
 
     def invalidate_peer(self, peer: str) -> None:
         """Watchdog support: retract every net contribution ``peer``
@@ -202,17 +231,27 @@ class NodeRuntime(PSNEngine):
                     Fact(pred, head)
                 )
             self.cluster.ship(self.address, destination, pred, head, sign,
-                              prov=prov)
+                              prov=prov, trace=self._active_trace)
 
     # ------------------------------------------------------------------
     # Query-result caching hooks (Section 5.2)
     # ------------------------------------------------------------------
-    def _commit_hook(self, fact: Fact, sign: int) -> None:
+    def _commit_hook(self, fact: Fact, weight: int) -> None:
+        """Weighted visibility transition: ``+w`` derivations became
+        visible (or refreshed), or ``-w`` left visibility -- a ``+k``
+        burst counts ``k``, not 1 (see ``PSNEngine.on_commit``)."""
         cluster = self.cluster
         policy = cluster.config.cache
-        if policy is not None and sign > 0 and fact.pred == policy.answer_pred:
+        if (policy is not None and weight > 0
+                and fact.pred == policy.answer_pred):
             self._cache_answer(policy, fact.args)
-        cluster.observe_commit(self.address, fact, sign)
+        metrics = self.metrics
+        if metrics is not None:
+            counters = metrics.commits if weight > 0 else metrics.retractions
+            counters[fact.pred] = counters.get(fact.pred, 0) + abs(weight)
+        if self.tracer is not None and self._active_trace is not None:
+            self.tracer.commit(fact, weight, self._active_trace)
+        cluster.observe_commit(self.address, fact, weight)
 
     def _cache_answer(self, policy, args: Tuple) -> None:
         """Install a cache entry from an answer travelling the reverse

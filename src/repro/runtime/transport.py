@@ -48,6 +48,10 @@ class Transport:
     def __init__(self, cluster, config: RuntimeConfig):
         self.cluster = cluster
         self.config = config
+        #: Observability handles bound once (``None`` when off, or when
+        #: the cluster is a test stub without the registries).
+        self.tracer = getattr(cluster, "tracer", None)
+        self.metrics = getattr(cluster, "metrics", None)
         #: (src, dst) -> list of queued NetDelta
         self._buffers: Dict[Tuple[str, str], List[NetDelta]] = {}
         self._flush_scheduled: Dict[Tuple[str, str], bool] = {}
@@ -64,10 +68,10 @@ class Transport:
     # Entry point
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, pred: str, args: Tuple, weight: int,
-             prov=None) -> None:
+             prov=None, trace=None) -> None:
         if not weight:
             return  # a zero-weight Z-set entry is no change at all
-        delta = NetDelta(pred, tuple(args), weight, prov)
+        delta = NetDelta(pred, tuple(args), weight, prov, trace)
         delay = self.config.buffer_interval or self.config.share_delay
         if not delay:
             self._transmit(src, dst, (delta,))
@@ -92,9 +96,20 @@ class Transport:
         # so a link flap buffered whole ships nothing.  Runs before the
         # per-pkey net-change pass, which reasons about *slots* and
         # assumes one net intent per fact.
+        buffered = deltas
         before = len(deltas)
         deltas = list(coalesce(deltas))
         self.cluster.stats.netdeltas_coalesced += before - len(deltas)
+        tracer = self.tracer
+        if tracer is not None and len(deltas) != before:
+            # Traced deltas whose (pred, args) slot vanished in the
+            # window were annihilated before transmission: end their
+            # propagation with a net span at the sender.
+            surviving = {(d.pred, d.args) for d in deltas}
+            for delta in buffered:
+                if (delta.trace is not None
+                        and (delta.pred, delta.args) not in surviving):
+                    tracer.netted(delta, src)
         if self.config.buffer_interval:
             deltas = self._net_change(key, deltas)
         if not deltas:
@@ -135,7 +150,8 @@ class Transport:
                 if last is None:
                     continue  # never advertised; nothing to retract
                 advertised.pop(pkey, None)
-                out.append(NetDelta(delta.pred, last, -1))
+                out.append(NetDelta(delta.pred, last, -1,
+                                    None, delta.trace))
         return out
 
     def _share_groups(self, deltas: List[NetDelta]):
@@ -189,6 +205,13 @@ class Transport:
         stats = self.cluster.stats
         stats.netdeltas_shipped += len(message.deltas)
         stats.record(self.cluster.clock.now, message.src, message.size)
+        tracer = self.tracer
+        if tracer is not None:
+            for delta in message.deltas:
+                if delta.trace is not None:
+                    # Per actual transmission, so retransmits show as
+                    # repeated ship spans on the trace.
+                    tracer.ship(delta, message.src, message.dst)
         channel.transmit(
             self.cluster.clock, message, self.cluster.deliver,
             rng=self.cluster.loss_rng,
@@ -292,6 +315,11 @@ class ReliableTransport(Transport):
             return
         flow.backoff(self.config.rto_backoff, self.config.rto_max)
         self.cluster.stats.retransmits += 1
+        registry = self.metrics
+        if registry is not None:
+            links = registry.link_retransmits
+            key = (flow.src, flow.dst)
+            links[key] = links.get(key, 0) + 1
         self._send(channel, message)
         self._arm_retransmit(flow)
 

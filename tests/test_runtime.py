@@ -88,6 +88,7 @@ class TestStaticConvergence:
         )
         assert cluster_costs(cluster) == pytest.approx(want)
 
+    @pytest.mark.slow
     def test_safe_program_without_aggsel_also_converges(self, overlay):
         cluster = Cluster(
             overlay, programs.shortest_path_safe(),
